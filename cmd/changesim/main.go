@@ -1,0 +1,112 @@
+// Command changesim is the paper's change simulator (Section 6.1): it
+// generates or reads an XML document, applies random edits with
+// per-node probabilities, and writes the new version together with the
+// perfect delta describing exactly the edits performed.
+//
+// Usage:
+//
+//	changesim [flags]
+//
+// Flags:
+//
+//	-in file        input document (default: generate one)
+//	-gen kind       generator when -in is absent: catalog, addressbook,
+//	                site, generic (default catalog)
+//	-size bytes     target size of the generated document (default 20000)
+//	-p prob         probability for all four operations (default 0.1)
+//	-pdel/-pupd/-pins/-pmov   individual probabilities (override -p)
+//	-seed n         random seed (default 1)
+//	-out-old file   write the (generated) old version
+//	-out-new file   write the new version (default new.xml)
+//	-out-delta file write the perfect delta (default delta.xml)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/dom"
+)
+
+func main() {
+	in := flag.String("in", "", "input `file` (default: generate)")
+	gen := flag.String("gen", "catalog", "generator `kind`: catalog, addressbook, site, generic")
+	size := flag.Int("size", 20_000, "target size in `bytes` for generated documents")
+	p := flag.Float64("p", 0.1, "per-node `probability` for all operations")
+	pdel := flag.Float64("pdel", -1, "delete probability (overrides -p)")
+	pupd := flag.Float64("pupd", -1, "update probability (overrides -p)")
+	pins := flag.Float64("pins", -1, "insert probability (overrides -p)")
+	pmov := flag.Float64("pmov", -1, "move probability (overrides -p)")
+	seed := flag.Int64("seed", 1, "random `seed`")
+	outOld := flag.String("out-old", "", "write the old version to `file`")
+	outNew := flag.String("out-new", "new.xml", "write the new version to `file`")
+	outDelta := flag.String("out-delta", "delta.xml", "write the perfect delta to `file`")
+	flag.Parse()
+
+	if err := run(*in, *gen, *size, pick(*pdel, *p), pick(*pupd, *p), pick(*pins, *p), pick(*pmov, *p),
+		*seed, *outOld, *outNew, *outDelta); err != nil {
+		fmt.Fprintln(os.Stderr, "changesim:", err)
+		os.Exit(1)
+	}
+}
+
+func pick(override, dflt float64) float64 {
+	if override >= 0 {
+		return override
+	}
+	return dflt
+}
+
+func run(in, gen string, size int, pdel, pupd, pins, pmov float64, seed int64, outOld, outNew, outDelta string) error {
+	var doc *dom.Node
+	var err error
+	if in != "" {
+		doc, err = dom.ParseFile(in)
+		if err != nil {
+			return err
+		}
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		switch gen {
+		case "catalog":
+			doc = changesim.CatalogOfSize(rng, size)
+		case "addressbook":
+			doc = changesim.AddressBook(rng, size/150+1)
+		case "site":
+			doc = changesim.Site(rng, size/350+1)
+		case "generic":
+			doc = changesim.Generic(rng, size/60+1, 8, 8)
+		default:
+			return fmt.Errorf("unknown generator %q", gen)
+		}
+	}
+	res, err := changesim.Simulate(doc, changesim.Params{
+		DeleteProb: pdel, UpdateProb: pupd, InsertProb: pins, MoveProb: pmov, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simulated: %s (perfect delta: %s, %d bytes)\n",
+		res.Stats, res.Perfect.Count(), res.Perfect.Size())
+	if outOld != "" {
+		if err := dom.WriteFile(outOld, doc); err != nil {
+			return err
+		}
+	}
+	if err := dom.WriteFile(outNew, res.New); err != nil {
+		return err
+	}
+	f, err := os.Create(outDelta)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := res.Perfect.WriteTo(f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(f)
+	return err
+}

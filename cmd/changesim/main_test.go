@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+)
+
+func TestRunGeneratesAndSimulates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.xml")
+	newPath := filepath.Join(dir, "new.xml")
+	deltaPath := filepath.Join(dir, "delta.xml")
+	if err := run("", "catalog", 4000, 0.1, 0.1, 0.1, 0.1, 7, oldPath, newPath, deltaPath); err != nil {
+		t.Fatal(err)
+	}
+	oldDoc, err := dom.ParseFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := dom.ParseFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := delta.Parse(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emitted perfect delta must transform old.xml into new.xml
+	// after canonical XID assignment — exactly what xypatch would do.
+	if d.Empty() {
+		t.Fatal("no changes simulated")
+	}
+	work := oldDoc.Clone()
+	assignPostorder(work)
+	if err := delta.Apply(work, d); err != nil {
+		t.Fatalf("apply emitted delta: %v", err)
+	}
+	if !dom.Equal(work, newDoc) {
+		t.Fatalf("delta does not connect the emitted files: %s", dom.Diagnose(work, newDoc))
+	}
+}
+
+func assignPostorder(doc *dom.Node) {
+	next := int64(1)
+	dom.WalkPost(doc, func(n *dom.Node) bool {
+		n.XID = next
+		next++
+		return true
+	})
+}
+
+func TestRunAllGenerators(t *testing.T) {
+	dir := t.TempDir()
+	for _, gen := range []string{"catalog", "addressbook", "site", "generic"} {
+		newPath := filepath.Join(dir, gen+"-new.xml")
+		deltaPath := filepath.Join(dir, gen+"-delta.xml")
+		if err := run("", gen, 2000, 0.05, 0.05, 0.05, 0.05, 3, "", newPath, deltaPath); err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if _, err := dom.ParseFile(newPath); err != nil {
+			t.Fatalf("%s output: %v", gen, err)
+		}
+	}
+}
+
+func TestRunWithInputFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.xml")
+	os.WriteFile(in, []byte(`<r><a>one</a><b>two</b><c>three</c></r>`), 0o644)
+	newPath := filepath.Join(dir, "new.xml")
+	deltaPath := filepath.Join(dir, "delta.xml")
+	if err := run(in, "", 0, 0.5, 0.5, 0.5, 0.5, 2, "", newPath, deltaPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(newPath); err != nil {
+		t.Fatal("new.xml missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "unknown-gen", 1000, 0.1, 0.1, 0.1, 0.1, 1,
+		"", filepath.Join(dir, "n.xml"), filepath.Join(dir, "d.xml")); err == nil ||
+		!strings.Contains(err.Error(), "unknown generator") {
+		t.Errorf("unknown generator error = %v", err)
+	}
+	if err := run(filepath.Join(dir, "missing.xml"), "", 0, 0.1, 0.1, 0.1, 0.1, 1,
+		"", filepath.Join(dir, "n.xml"), filepath.Join(dir, "d.xml")); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(-1, 0.3) != 0.3 || pick(0.7, 0.3) != 0.7 || pick(0, 0.3) != 0 {
+		t.Error("pick logic wrong")
+	}
+}

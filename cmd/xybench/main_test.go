@@ -1,0 +1,33 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(io.Discard, "nope", false, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesTables(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "stats", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "change statistics") {
+		t.Errorf("stats output missing header: %s", b.String())
+	}
+}
+
+func TestRunQuickExperiments(t *testing.T) {
+	// Keep only the fast experiments in unit tests; "all" and -full are
+	// exercised manually / by the benchmarks.
+	for _, name := range []string{"moves", "ablation", "stats"} {
+		if err := run(io.Discard, name, false, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

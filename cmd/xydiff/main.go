@@ -1,0 +1,132 @@
+// Command xydiff computes the changes between two versions of an XML
+// document and emits them as a delta — itself an XML document — in the
+// style of the Xyleme change-control system.
+//
+// Usage:
+//
+//	xydiff [flags] old.xml new.xml
+//
+// Flags:
+//
+//	-o file     write the delta to file instead of stdout
+//	-stats      print matching statistics and phase timings to stderr
+//	-ids e=a    declare attribute a as the ID attribute of element e
+//	            (repeatable, comma separated); DTD ATTLIST ID
+//	            declarations are honored automatically
+//	-no-ids     ignore ID attributes entirely
+//	-html       treat inputs as HTML and XMLize them first (paper §1)
+//	-verify     re-apply the delta and check it reproduces new.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/dtd"
+	"xydiff/internal/htmlize"
+)
+
+func main() {
+	out := flag.String("o", "", "write delta to `file` (default stdout)")
+	stats := flag.Bool("stats", false, "print statistics to stderr")
+	ids := flag.String("ids", "", "explicit ID attributes, `elem=attr[,elem=attr...]`")
+	noIDs := flag.Bool("no-ids", false, "disable ID attribute matching")
+	html := flag.Bool("html", false, "XMLize HTML inputs before diffing")
+	verify := flag.Bool("verify", false, "verify the delta reproduces the new version")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xydiff [flags] old.xml new.xml\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *out, *ids, *noIDs, *html, *stats, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "xydiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, outPath, ids string, noIDs, html, stats, verify bool) error {
+	oldDoc, err := loadDoc(oldPath, html)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath, html)
+	if err != nil {
+		return err
+	}
+	opts := diff.Options{DisableIDAttributes: noIDs}
+	if ids != "" {
+		opts.IDAttrs, err = parseIDFlag(ids)
+		if err != nil {
+			return err
+		}
+	}
+	r, err := diff.DiffDetailed(oldDoc, newDoc, opts)
+	if err != nil {
+		return err
+	}
+	if verify {
+		// Diff assigned XIDs to oldDoc without touching its structure,
+		// so it is exactly the document the delta addresses.
+		got, err := delta.ApplyClone(oldDoc, r.Delta)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if !dom.Equal(got, newDoc) {
+			return fmt.Errorf("verify: delta does not reproduce %s: %s", newPath, dom.Diagnose(got, newDoc))
+		}
+	}
+	if stats {
+		c := r.Delta.Count()
+		fmt.Fprintf(os.Stderr, "nodes: old=%d new=%d matched=%d\n", r.OldNodes, r.NewNodes, r.MatchedNodes)
+		fmt.Fprintf(os.Stderr, "ops: %s (delta %d bytes)\n", c, r.Delta.Size())
+		fmt.Fprintf(os.Stderr, "time: p1=%v p2=%v p3=%v p4=%v p5=%v total=%v\n",
+			r.Timings.Phase1, r.Timings.Phase2, r.Timings.Phase3,
+			r.Timings.Phase4, r.Timings.Phase5, r.Timings.Total())
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := r.Delta.WriteTo(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+func loadDoc(path string, html bool) (*dom.Node, error) {
+	if !html {
+		return dom.ParseFile(path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return htmlize.Parse(string(raw)), nil
+}
+
+func parseIDFlag(s string) (dtd.IDAttrs, error) {
+	ids := dtd.IDAttrs{}
+	for _, pair := range strings.Split(s, ",") {
+		elem, attr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || elem == "" || attr == "" {
+			return nil, fmt.Errorf("bad -ids entry %q (want elem=attr)", pair)
+		}
+		ids[elem] = attr
+	}
+	return ids, nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProducesDelta(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.xml", `<r><a>1</a></r>`)
+	newPath := write(t, dir, "new.xml", `<r><a>2</a></r>`)
+	outPath := filepath.Join(dir, "delta.xml")
+	if err := run(oldPath, newPath, outPath, "", false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "<update") {
+		t.Errorf("delta output = %s", out)
+	}
+}
+
+func TestRunWithExplicitIDs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.xml", `<r><p id="1">a</p><p id="2">b</p></r>`)
+	newPath := write(t, dir, "new.xml", `<r><p id="2">b</p><p id="1">a</p></r>`)
+	outPath := filepath.Join(dir, "delta.xml")
+	if err := run(oldPath, newPath, outPath, "p=id", false, false, true, true); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(out), "<move") {
+		t.Errorf("expected a move with ID matching:\n%s", out)
+	}
+}
+
+func TestRunHTMLMode(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "a.html", `<ul><li>one<li>two</ul>`)
+	newPath := write(t, dir, "b.html", `<ul><li>one<li>three</ul>`)
+	outPath := filepath.Join(dir, "delta.xml")
+	if err := run(oldPath, newPath, outPath, "", false, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(out), "three") {
+		t.Errorf("html delta = %s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.xml", `<r/>`)
+	bad := write(t, dir, "bad.xml", `<r>`)
+	if err := run(bad, good, "", "", false, false, false, false); err == nil {
+		t.Error("malformed old accepted")
+	}
+	if err := run(good, bad, "", "", false, false, false, false); err == nil {
+		t.Error("malformed new accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.xml"), good, "", "", false, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(good, good, "", "notvalid", false, false, false, false); err == nil {
+		t.Error("bad -ids accepted")
+	}
+}
+
+func TestParseIDFlag(t *testing.T) {
+	ids, err := parseIDFlag("product=pid, page=url")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids["product"] != "pid" || ids["page"] != "url" {
+		t.Errorf("ids = %v", ids)
+	}
+	for _, bad := range []string{"", "x", "=y", "x=", "a=b,c"} {
+		if _, err := parseIDFlag(bad); err == nil {
+			t.Errorf("parseIDFlag(%q) accepted", bad)
+		}
+	}
+}

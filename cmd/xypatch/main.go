@@ -1,0 +1,116 @@
+// Command xypatch applies a delta produced by xydiff to an XML
+// document — forward to obtain the next version, or reversed (-R) to
+// reconstruct the previous one.
+//
+// Usage:
+//
+//	xypatch [flags] doc.xml delta.xml
+//
+// Flags:
+//
+//	-o file   write the result to file instead of stdout
+//	-R        reverse: apply the inverted delta
+//
+// Deltas address nodes by persistent identifiers (XIDs). A freshly
+// parsed document has canonical post-order XIDs — the numbering xydiff
+// gives the *old* side of a pair — but later versions do not: matched
+// nodes carry their inherited XIDs and inserted nodes carry fresh ones.
+// xypatch therefore keeps an XID-map sidecar next to each file it
+// writes (doc.xml.xidmap, the post-order XID list of the document, the
+// paper's XID-map notion applied to the root). When patching a document
+// that has a sidecar, the sidecar is used; otherwise canonical
+// post-order numbering is assumed. Reverse application (-R) requires
+// the sidecar, because the new version's numbering is never canonical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+	"xydiff/internal/xid"
+)
+
+func main() {
+	out := flag.String("o", "", "write result to `file` (default stdout, no sidecar)")
+	reverse := flag.Bool("R", false, "apply the delta in reverse")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xypatch [flags] doc.xml delta.xml\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *out, *reverse); err != nil {
+		fmt.Fprintln(os.Stderr, "xypatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(docPath, deltaPath, outPath string, reverse bool) error {
+	doc, err := dom.ParseFile(docPath)
+	if err != nil {
+		return err
+	}
+	if err := assignXIDs(doc, docPath, reverse); err != nil {
+		return err
+	}
+	f, err := os.Open(deltaPath)
+	if err != nil {
+		return err
+	}
+	d, err := delta.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if reverse {
+		d = d.Invert()
+	}
+	if err := delta.Apply(doc, d); err != nil {
+		return err
+	}
+	if outPath == "" {
+		if _, err := doc.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(os.Stdout)
+		return err
+	}
+	if err := dom.WriteFile(outPath, doc); err != nil {
+		return err
+	}
+	// Record the result's XID layout so the next patch (or a reverse
+	// one) can address it.
+	return os.WriteFile(outPath+".xidmap", []byte(xid.Of(doc).String()+"\n"), 0o644)
+}
+
+// assignXIDs restores the document's persistent identifiers: from the
+// sidecar when present, canonical post-order otherwise.
+func assignXIDs(doc *dom.Node, docPath string, reverse bool) error {
+	raw, err := os.ReadFile(docPath + ".xidmap")
+	switch {
+	case err == nil:
+		m, err := xid.ParseMap(strings.TrimSpace(string(raw)))
+		if err != nil {
+			return fmt.Errorf("sidecar %s.xidmap: %w", docPath, err)
+		}
+		if err := m.ApplyTo(doc); err != nil {
+			return fmt.Errorf("sidecar %s.xidmap: %w", docPath, err)
+		}
+		return nil
+	case os.IsNotExist(err):
+		if reverse {
+			return fmt.Errorf("reverse patching needs %s.xidmap (the new version's XIDs are not canonical); re-create it by applying the forward delta with -o", docPath)
+		}
+		xid.Assign(doc)
+		return nil
+	default:
+		return err
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+// prepare diffs two documents and writes old.xml and delta.xml.
+func prepare(t *testing.T, dir, oldXML, newXML string) (oldPath, deltaPath string, newDoc *dom.Node) {
+	t.Helper()
+	oldDoc, err := dom.ParseString(oldXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err = dom.ParseString(newXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := diff.Diff(oldDoc, newDoc, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPath = filepath.Join(dir, "old.xml")
+	if err := dom.WriteFile(oldPath, oldDoc); err != nil {
+		t.Fatal(err)
+	}
+	deltaPath = filepath.Join(dir, "delta.xml")
+	text, _ := d.MarshalText()
+	if err := os.WriteFile(deltaPath, text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return oldPath, deltaPath, newDoc
+}
+
+func TestPatchForwardAndReverse(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, deltaPath, newDoc := prepare(t, dir,
+		`<r><a>1</a><b>x</b></r>`, `<r><b>x</b><a>2</a><c/></r>`)
+	patched := filepath.Join(dir, "patched.xml")
+	if err := run(oldPath, deltaPath, patched, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dom.ParseFile(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(got, newDoc) {
+		t.Fatalf("patched differs: %s", dom.Diagnose(got, newDoc))
+	}
+	// The sidecar must exist and enable reverse patching.
+	if _, err := os.Stat(patched + ".xidmap"); err != nil {
+		t.Fatal("sidecar missing")
+	}
+	back := filepath.Join(dir, "back.xml")
+	if err := run(patched, deltaPath, back, true); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := dom.ParseFile(oldPath)
+	gotBack, _ := dom.ParseFile(back)
+	if !dom.Equal(gotBack, orig) {
+		t.Fatalf("reverse patch differs: %s", dom.Diagnose(gotBack, orig))
+	}
+}
+
+func TestPatchChain(t *testing.T) {
+	// v1 -> v2 -> v3 through files, using sidecars for the second hop.
+	dir := t.TempDir()
+	v1 := `<log><e>1</e></log>`
+	v2 := `<log><e>1</e><e>2</e></log>`
+	v3 := `<log><e>2</e><e>3</e></log>`
+	oldPath, delta12, _ := prepare(t, dir, v1, v2)
+	mid := filepath.Join(dir, "v2.xml")
+	if err := run(oldPath, delta12, mid, false); err != nil {
+		t.Fatal(err)
+	}
+	// Second delta computed against the sidecar-consistent v2: load it
+	// the same way the CLI would.
+	v2doc, err := dom.ParseFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assignXIDs(v2doc, mid, false); err != nil {
+		t.Fatal(err)
+	}
+	v3doc, _ := dom.ParseString(v3)
+	d23, err := diff.Diff(v2doc, v3doc, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta23 := filepath.Join(dir, "d23.xml")
+	text, _ := d23.MarshalText()
+	os.WriteFile(delta23, text, 0o644)
+	out := filepath.Join(dir, "v3.xml")
+	if err := run(mid, delta23, out, false); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dom.ParseFile(out)
+	want, _ := dom.ParseString(v3)
+	if !dom.Equal(got, want) {
+		t.Fatalf("chained patch differs: %s", dom.Diagnose(got, want))
+	}
+}
+
+func TestReverseWithoutSidecarFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, deltaPath, _ := prepare(t, dir, `<r><a>1</a></r>`, `<r><a>2</a></r>`)
+	err := run(oldPath, deltaPath, filepath.Join(dir, "out.xml"), true)
+	if err == nil || !strings.Contains(err.Error(), "xidmap") {
+		t.Fatalf("expected sidecar error, got %v", err)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, deltaPath, _ := prepare(t, dir, `<r><a>1</a></r>`, `<r><a>2</a></r>`)
+	if err := run(filepath.Join(dir, "nope.xml"), deltaPath, "", false); err == nil {
+		t.Error("missing doc accepted")
+	}
+	if err := run(oldPath, filepath.Join(dir, "nope.xml"), "", false); err == nil {
+		t.Error("missing delta accepted")
+	}
+	badDelta := filepath.Join(dir, "bad.xml")
+	os.WriteFile(badDelta, []byte(`<notadelta/>`), 0o644)
+	if err := run(oldPath, badDelta, "", false); err == nil {
+		t.Error("bad delta accepted")
+	}
+	// Corrupt sidecar.
+	os.WriteFile(oldPath+".xidmap", []byte("garbage"), 0o644)
+	if err := run(oldPath, deltaPath, "", false); err == nil {
+		t.Error("corrupt sidecar accepted")
+	}
+}

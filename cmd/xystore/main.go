@@ -1,0 +1,206 @@
+// Command xystore is a small change-centric XML warehouse on disk: the
+// Xyleme architecture of the paper's Figure 1 as a CLI. Documents are
+// stored as their latest version plus the chain of completed deltas;
+// any past version is reconstructible, and the delta chain is
+// queryable.
+//
+// Usage:
+//
+//	xystore -dir DIR put ID FILE        install a new version of ID
+//	xystore -dir DIR ids                list stored documents
+//	xystore -dir DIR log ID             one line per version
+//	xystore -dir DIR cat ID [N]         print version N (default latest)
+//	xystore -dir DIR delta ID N         print the delta version N -> N+1
+//	xystore -dir DIR aggregate ID A B   print the combined delta A -> B
+//	xystore -dir DIR value ID EXPR      xpathlite value, every version
+//	xystore -dir DIR grep ID A B EXPR   ops between A and B matching EXPR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/store"
+	"xydiff/internal/xpathlite"
+)
+
+func main() {
+	dir := flag.String("dir", "xystore-data", "warehouse `directory`")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xystore -dir DIR put|ids|log|cat|delta|aggregate|value|grep ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "xystore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, args []string) error {
+	s, err := loadOrEmpty(dir)
+	if err != nil {
+		return err
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "put":
+		if len(rest) != 2 {
+			return fmt.Errorf("put needs ID FILE")
+		}
+		doc, err := dom.ParseFile(rest[1])
+		if err != nil {
+			return err
+		}
+		v, d, err := s.Put(rest[0], doc)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			fmt.Printf("%s: version %d (initial)\n", rest[0], v)
+		} else {
+			fmt.Printf("%s: version %d, delta %d bytes (%s)\n", rest[0], v, d.Size(), d.Count())
+		}
+		return s.Save(dir)
+	case "ids":
+		for _, id := range s.IDs() {
+			fmt.Printf("%s\t%d versions\n", id, s.Versions(id))
+		}
+		return nil
+	case "log":
+		if len(rest) != 1 {
+			return fmt.Errorf("log needs ID")
+		}
+		id := rest[0]
+		n := s.Versions(id)
+		if n == 0 {
+			return fmt.Errorf("unknown document %q", id)
+		}
+		for v := 1; v <= n; v++ {
+			doc, err := s.Version(id, v)
+			if err != nil {
+				return err
+			}
+			line := fmt.Sprintf("v%d\t%d bytes", v, len(doc.String()))
+			if v > 1 {
+				d, err := s.Delta(id, v-1)
+				if err != nil {
+					return err
+				}
+				line += "\t" + d.Count().String()
+			}
+			fmt.Println(line)
+		}
+		return nil
+	case "cat":
+		if len(rest) < 1 {
+			return fmt.Errorf("cat needs ID [N]")
+		}
+		id := rest[0]
+		v := s.Versions(id)
+		if v == 0 {
+			return fmt.Errorf("unknown document %q", id)
+		}
+		if len(rest) == 2 {
+			if v, err = strconv.Atoi(rest[1]); err != nil {
+				return fmt.Errorf("bad version %q", rest[1])
+			}
+		}
+		doc, err := s.Version(id, v)
+		if err != nil {
+			return err
+		}
+		_, err = doc.WriteTo(os.Stdout)
+		fmt.Println()
+		return err
+	case "delta":
+		if len(rest) != 2 {
+			return fmt.Errorf("delta needs ID N")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad version %q", rest[1])
+		}
+		d, err := s.Delta(rest[0], n)
+		if err != nil {
+			return err
+		}
+		_, err = d.WriteTo(os.Stdout)
+		fmt.Println()
+		return err
+	case "aggregate":
+		if len(rest) != 3 {
+			return fmt.Errorf("aggregate needs ID A B")
+		}
+		a, err1 := strconv.Atoi(rest[1])
+		b, err2 := strconv.Atoi(rest[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad version range %q %q", rest[1], rest[2])
+		}
+		d, err := s.Aggregate(rest[0], a, b)
+		if err != nil {
+			return err
+		}
+		_, err = d.WriteTo(os.Stdout)
+		fmt.Println()
+		return err
+	case "value":
+		if len(rest) != 2 {
+			return fmt.Errorf("value needs ID EXPR")
+		}
+		expr, err := xpathlite.Compile(rest[1])
+		if err != nil {
+			return err
+		}
+		tl, err := s.Timeline(rest[0], expr)
+		if err != nil {
+			return err
+		}
+		for _, vv := range tl {
+			if vv.Found {
+				fmt.Printf("v%d\t%s\n", vv.Version, vv.Value)
+			} else {
+				fmt.Printf("v%d\t(absent)\n", vv.Version)
+			}
+		}
+		return nil
+	case "grep":
+		if len(rest) != 4 {
+			return fmt.Errorf("grep needs ID A B EXPR")
+		}
+		a, err1 := strconv.Atoi(rest[1])
+		b, err2 := strconv.Atoi(rest[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad version range %q %q", rest[1], rest[2])
+		}
+		expr, err := xpathlite.Compile(rest[3])
+		if err != nil {
+			return err
+		}
+		hits, err := s.ChangesMatching(rest[0], a, b, expr)
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			fmt.Printf("v%d\t%s\t%s\n", h.Version, h.Op.Kind(), h.Path)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func loadOrEmpty(dir string) (*store.Store, error) {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return store.New(diff.Options{}), nil
+	}
+	return store.Load(dir, diff.Options{})
+}

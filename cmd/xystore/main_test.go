@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStoreWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "warehouse")
+	v1 := writeDoc(t, dir, "v1.xml", `<cat><p><name>a</name><price>$1</price></p></cat>`)
+	v2 := writeDoc(t, dir, "v2.xml", `<cat><p><name>a</name><price>$2</price></p><p><name>b</name><price>$3</price></p></cat>`)
+
+	for _, args := range [][]string{
+		{"put", "docs/cat", v1},
+		{"put", "docs/cat", v2},
+		{"ids"},
+		{"log", "docs/cat"},
+		{"cat", "docs/cat"},
+		{"cat", "docs/cat", "1"},
+		{"delta", "docs/cat", "1"},
+		{"aggregate", "docs/cat", "1", "2"},
+		{"value", "docs/cat", "//p[1]/price"},
+		{"grep", "docs/cat", "1", "2", "//p"},
+	} {
+		if err := run(wh, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "warehouse")
+	good := writeDoc(t, dir, "v1.xml", `<r/>`)
+	if err := run(wh, []string{"put", "d", good}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"bogus-command"},
+		{"put"},                      // missing args
+		{"put", "d", "missing.xml"},  // missing file
+		{"log"},                      // missing id
+		{"log", "ghost"},             // unknown id
+		{"cat"},                      // missing id
+		{"cat", "ghost"},             // unknown id
+		{"cat", "d", "notanumber"},   // bad version
+		{"delta", "d"},               // missing args
+		{"delta", "d", "9"},          // out of range
+		{"aggregate", "d", "1"},      // missing args
+		{"aggregate", "d", "x", "y"}, // bad numbers
+		{"value", "d"},               // missing expr
+		{"value", "d", "[broken"},    // bad expr
+		{"grep", "d", "1", "2"},      // missing expr
+		{"grep", "d", "x", "y", "//a"},
+	}
+	for _, args := range cases {
+		if err := run(wh, args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestLoadOrEmpty(t *testing.T) {
+	s, err := loadOrEmpty(filepath.Join(t.TempDir(), "does-not-exist"))
+	if err != nil || s == nil {
+		t.Fatalf("loadOrEmpty fresh = %v, %v", s, err)
+	}
+}

@@ -1,0 +1,105 @@
+package xydiff_test
+
+import (
+	"fmt"
+	"log"
+
+	"xydiff"
+)
+
+// ExampleDiff reproduces the paper's running example: a product is
+// deleted, another inserted, one moved between categories, and a price
+// updated — four operations, including the move that distinguishes
+// this algorithm from classic tree diffs.
+func ExampleDiff() {
+	oldDoc, err := xydiff.ParseString(`<Category><Title>Digital Cameras</Title><Discount><Product><Name>tx123</Name><Price>$499</Price></Product></Discount><NewProducts><Product><Name>zy456</Name><Price>$799</Price></Product></NewProducts></Category>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newDoc, err := xydiff.ParseString(`<Category><Title>Digital Cameras</Title><Discount><Product><Name>zy456</Name><Price>$699</Price></Product></Discount><NewProducts><Product><Name>abc</Name><Price>$899</Price></Product></NewProducts></Category>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := xydiff.Diff(oldDoc, newDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Count())
+	// Output: 1 ins, 1 del, 1 upd, 1 mov, 0 attr
+}
+
+// ExampleDelta_Invert shows that deltas are completed: the inverse
+// transformation is derivable from the delta alone.
+func ExampleDelta_Invert() {
+	v1, _ := xydiff.ParseString(`<doc><p>one</p></doc>`)
+	v2, _ := xydiff.ParseString(`<doc><p>two</p></doc>`)
+	d, err := xydiff.Diff(v1, v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forward, _ := xydiff.ApplyClone(v1, d)
+	backward, _ := xydiff.ApplyClone(forward, d.Invert())
+	fmt.Println(xydiff.Equal(forward, v2), xydiff.Equal(backward, v1))
+	// Output: true true
+}
+
+// ExampleParseDeltaString round-trips a delta through its XML form —
+// the same representation the Xyleme warehouse stored and queried.
+func ExampleParseDeltaString() {
+	v1, _ := xydiff.ParseString(`<a><b>x</b></a>`)
+	v2, _ := xydiff.ParseString(`<a><b>y</b></a>`)
+	d, _ := xydiff.Diff(v1, v2)
+	text, _ := d.MarshalText()
+	fmt.Println(string(text))
+	parsed, err := xydiff.ParseDeltaString(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(parsed.Count())
+	// Output:
+	// <delta nextxid="5"><update xid="1"><old>x</old><new>y</new></update></delta>
+	// 0 ins, 0 del, 1 upd, 0 mov, 0 attr
+}
+
+// ExampleParseHTML XMLizes an HTML fragment (unclosed tags and all) so
+// web pages can be diffed like XML documents.
+func ExampleParseHTML() {
+	doc := xydiff.ParseHTML(`<ul><li>one<li>two</ul>`)
+	fmt.Println(doc)
+	// Output: <ul><li>one</li><li>two</li></ul>
+}
+
+// ExampleMerge reconciles two divergent offline edits of the same
+// document; the colliding price update is reported as a conflict.
+func ExampleMerge() {
+	base, _ := xydiff.ParseString(`<shop><price>10</price><stock>5</stock></shop>`)
+	alice, _ := xydiff.ParseString(`<shop><price>12</price><stock>5</stock></shop>`)
+	bob, _ := xydiff.ParseString(`<shop><price>11</price><stock>4</stock></shop>`)
+	dAlice, _ := xydiff.Diff(base, alice)
+	dBob, _ := xydiff.Diff(base, bob)
+	res, err := xydiff.Merge(base, dAlice, dBob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Doc)
+	fmt.Println(len(res.Conflicts), "conflict:", res.Conflicts[0].Kind)
+	// Output:
+	// <shop><price>12</price><stock>4</stock></shop>
+	// 1 conflict: update/update
+}
+
+// ExampleCompose aggregates a chain of deltas into one equivalent
+// delta; the two successive updates collapse.
+func ExampleCompose() {
+	v1, _ := xydiff.ParseString(`<n><v>1</v></n>`)
+	v2, _ := xydiff.ParseString(`<n><v>2</v></n>`)
+	v3, _ := xydiff.ParseString(`<n><v>3</v></n>`)
+	d12, _ := xydiff.Diff(v1, v2)
+	d23, _ := xydiff.Diff(v2, v3)
+	combined, err := xydiff.Compose(v1, d12, d23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(combined)
+	// Output: update 1: "1" -> "3"
+}

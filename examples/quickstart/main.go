@@ -1,0 +1,75 @@
+// Quickstart: diff two versions of the paper's running example, print
+// the delta, apply it, and invert it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xydiff"
+)
+
+const oldVersion = `<Category>
+  <Title>Digital Cameras</Title>
+  <Discount>
+    <Product><Name>tx123</Name><Price>$499</Price></Product>
+  </Discount>
+  <NewProducts>
+    <Product><Name>zy456</Name><Price>$799</Price></Product>
+  </NewProducts>
+</Category>`
+
+const newVersion = `<Category>
+  <Title>Digital Cameras</Title>
+  <Discount>
+    <Product><Name>zy456</Name><Price>$699</Price></Product>
+  </Discount>
+  <NewProducts>
+    <Product><Name>abc</Name><Price>$899</Price></Product>
+  </NewProducts>
+</Category>`
+
+func main() {
+	oldDoc, err := xydiff.ParseString(oldVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newDoc, err := xydiff.ParseString(newVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compute the delta. The product that moved from NewProducts to
+	// Discount is detected as a move, not a delete+insert — the
+	// distinguishing feature of the algorithm.
+	d, err := xydiff.Diff(oldDoc, newDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("operations:")
+	fmt.Print(d)
+	fmt.Println("summary:", d.Count())
+
+	// The delta is itself an XML document.
+	xml, err := d.MarshalText()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndelta document (%d bytes):\n%s\n", len(xml), xml)
+
+	// Apply it forward...
+	v2, err := xydiff.ApplyClone(oldDoc, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\napply(old, delta) == new:", xydiff.Equal(v2, newDoc))
+
+	// ...and backward: completed deltas are invertible.
+	v1, err := xydiff.ApplyClone(v2, d.Invert())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("apply(new, delta⁻¹) == old:", xydiff.Equal(v1, oldDoc))
+}

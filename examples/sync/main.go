@@ -1,0 +1,78 @@
+// Sync: offline synchronization of divergent document copies (the
+// paper's Section 2: "different users may modify the same XML document
+// off-line, and later want to synchronize their respective versions
+// ... detect conflicts and solve some of them").
+//
+// Two editors start from the same catalog, work offline, and their
+// changes are reconciled through the diffs: non-conflicting operations
+// merge, genuine collisions are reported.
+//
+//	go run ./examples/sync
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xydiff"
+	"xydiff/internal/diff"
+	"xydiff/internal/merge"
+)
+
+const baseXML = `<Catalog>
+  <Product><Name>tx123</Name><Price>$499</Price><Stock>4</Stock></Product>
+  <Product><Name>zy456</Name><Price>$799</Price><Stock>9</Stock></Product>
+</Catalog>`
+
+// Alice reprices tx123 and adds a product.
+const aliceXML = `<Catalog>
+  <Product><Name>tx123</Name><Price>$459</Price><Stock>4</Stock></Product>
+  <Product><Name>zy456</Name><Price>$799</Price><Stock>9</Stock></Product>
+  <Product><Name>new-from-alice</Name><Price>$100</Price><Stock>1</Stock></Product>
+</Catalog>`
+
+// Bob also reprices tx123 (differently!) and updates zy456's stock.
+const bobXML = `<Catalog>
+  <Product><Name>tx123</Name><Price>$449</Price><Stock>4</Stock></Product>
+  <Product><Name>zy456</Name><Price>$799</Price><Stock>7</Stock></Product>
+</Catalog>`
+
+func main() {
+	base, err := xydiff.ParseString(baseXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := xydiff.ParseString(aliceXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := xydiff.ParseString(bobXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each editor's offline work, described as a delta against the
+	// shared base.
+	dAlice, err := diff.Diff(base, alice, diff.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dBob, err := diff.Diff(base, bob, diff.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice's changes: %s\n", dAlice.Count())
+	fmt.Printf("bob's changes:   %s\n", dBob.Count())
+
+	// Reconcile, with Alice's copy as the winning side.
+	res, err := merge.ThreeWay(base, dAlice, dBob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmerged: %d of bob's ops applied, %d converged, %d conflicts\n",
+		res.Applied, res.Converged, len(res.Conflicts))
+	for _, c := range res.Conflicts {
+		fmt.Printf("  CONFLICT %s\n", c)
+	}
+	fmt.Printf("\nsynchronized document:\n%s\n", res.Doc)
+}

@@ -1,0 +1,3 @@
+module xydiff
+
+go 1.22

@@ -1,0 +1,218 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/xpathlite"
+)
+
+// diffPair runs the real diff so deltas and XIDs are consistent.
+func diffPair(t *testing.T, oldXML, newXML string) (*dom.Node, *dom.Node, *delta.Delta) {
+	t.Helper()
+	oldDoc, err := dom.ParseString(oldXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := dom.ParseString(newXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := diff.Diff(oldDoc, newDoc, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oldDoc, newDoc, d
+}
+
+func TestNotifyNewProductSubscription(t *testing.T) {
+	// The paper's example: "a new product has been added to a catalog".
+	oldDoc, newDoc, d := diffPair(t,
+		`<Catalog><Category><Product><Name>a</Name></Product></Category></Catalog>`,
+		`<Catalog><Category><Product><Name>a</Name></Product><Product><Name>b9000</Name></Product></Category></Catalog>`)
+	a := New(Subscription{
+		ID:    "new-products",
+		Path:  "Category/Product",
+		Kinds: []delta.Kind{delta.KindInsert},
+	})
+	alerts := a.Notify("catalog", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v, want 1", alerts)
+	}
+	al := alerts[0]
+	if al.SubID != "new-products" || al.Op.Kind() != delta.KindInsert {
+		t.Errorf("unexpected alert %v", al)
+	}
+	if !strings.Contains(al.Path, "Product") {
+		t.Errorf("alert path = %q", al.Path)
+	}
+	if !strings.Contains(al.String(), "insert") {
+		t.Errorf("String = %q", al.String())
+	}
+}
+
+func TestNotifyKindAndPathFilters(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<r><a><v>1</v></a><b><v>2</v></b></r>`,
+		`<r><a><v>9</v></a><b><v>2</v></b></r>`)
+	a := New(
+		Subscription{ID: "updates-a", Path: "a/v", Kinds: []delta.Kind{delta.KindUpdate}},
+		Subscription{ID: "updates-b", Path: "b/v", Kinds: []delta.Kind{delta.KindUpdate}},
+		Subscription{ID: "deletes", Kinds: []delta.Kind{delta.KindDelete}},
+	)
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 || alerts[0].SubID != "updates-a" {
+		t.Fatalf("alerts = %v, want only updates-a", alerts)
+	}
+}
+
+func TestNotifyContainsFilter(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<list><item>cheap thing</item></list>`,
+		`<list><item>cheap thing</item><item>rare gem</item></list>`)
+	a := New(
+		Subscription{ID: "gems", Contains: "gem"},
+		Subscription{ID: "gold", Contains: "gold"},
+	)
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 || alerts[0].SubID != "gems" {
+		t.Fatalf("alerts = %v, want only gems", alerts)
+	}
+}
+
+func TestNotifyDocIDFilter(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t, `<r><x>1</x></r>`, `<r><x>2</x></r>`)
+	a := New(
+		Subscription{ID: "mine", DocID: "doc-1"},
+		Subscription{ID: "other", DocID: "doc-2"},
+	)
+	alerts := a.Notify("doc-1", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 || alerts[0].SubID != "mine" {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestNotifyDeleteResolvesInOldVersion(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<r><gone><deep>x</deep></gone><stay/></r>`,
+		`<r><stay/></r>`)
+	a := New(Subscription{ID: "del", Kinds: []delta.Kind{delta.KindDelete}})
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	if alerts[0].Path != "/r/gone" {
+		t.Errorf("delete path = %q, want /r/gone", alerts[0].Path)
+	}
+}
+
+func TestNotifyEmptyDeltaAndNoSubs(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t, `<r/>`, `<r/>`)
+	a := New(Subscription{ID: "any"})
+	if got := a.Notify("doc", 2, oldDoc, newDoc, d); got != nil {
+		t.Errorf("empty delta alerts = %v", got)
+	}
+	_, newDoc2, d2 := diffPair(t, `<r/>`, `<r><x/></r>`)
+	empty := New()
+	if got := empty.Notify("doc", 2, newDoc, newDoc2, d2); got != nil {
+		t.Errorf("no-subs alerts = %v", got)
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	a := New()
+	a.Subscribe(Subscription{ID: "s1"})
+	a.Subscribe(Subscription{ID: "s2"})
+	a.Subscribe(Subscription{ID: "s1"})
+	if got := len(a.Subscriptions()); got != 3 {
+		t.Fatalf("subs = %d", got)
+	}
+	if !a.Unsubscribe("s1") {
+		t.Fatal("Unsubscribe existing returned false")
+	}
+	if got := len(a.Subscriptions()); got != 1 {
+		t.Fatalf("after unsubscribe subs = %d", got)
+	}
+	if a.Unsubscribe("ghost") {
+		t.Fatal("Unsubscribe missing returned true")
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"", "/a/b", true},
+		{"b", "/a/b", true},
+		{"a/b", "/a/b", true},
+		{"/a/b", "/a/b", true},
+		{"/b", "/a/b", false},
+		{"/a", "/a/b", false},
+		{"x/b", "/a/b", false},
+		{"*/b", "/a/b", true},
+		{"/*/b", "/a/b", true},
+		{"a/*", "/a/b", true},
+		{"Product", "/Catalog/Category[2]/Product[3]", true},
+		{"Category/Product", "/Catalog/Category[2]/Product[3]", true},
+		{"anything", "", false},
+	}
+	for _, c := range cases {
+		if got := pathMatches(c.pattern, c.path); got != c.want {
+			t.Errorf("pathMatches(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestMoveAlertUsesNodeContent(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<r><a><big><x>gemstone</x><y>two</y></big></a><b/></r>`,
+		`<r><a/><b><big><x>gemstone</x><y>two</y></big></b></r>`)
+	if d.Count().Moves == 0 {
+		t.Skip("diff did not produce a move for this input")
+	}
+	a := New(Subscription{ID: "m", Kinds: []delta.Kind{delta.KindMove}, Contains: "gemstone"})
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestAttrAlerts(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<r><e status="ok"/></r>`,
+		`<r><e status="fail"/></r>`)
+	a := New(Subscription{ID: "attr", Kinds: []delta.Kind{delta.KindUpdateAttr}, Contains: "fail"})
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v\ndelta:\n%s", alerts, d)
+	}
+}
+
+func TestQuerySubscription(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<Catalog><Product><Name>a</Name><Price>$100</Price></Product></Catalog>`,
+		`<Catalog><Product><Name>a</Name><Price>$100</Price></Product><Product><Name>lux</Name><Price>$900</Price></Product></Catalog>`)
+	a := New(
+		Subscription{ID: "expensive", Query: xpathlite.MustCompile(`//Product[Price>500]`), Kinds: []delta.Kind{delta.KindInsert}},
+		Subscription{ID: "cheap", Query: xpathlite.MustCompile(`//Product[Price<=500]`), Kinds: []delta.Kind{delta.KindInsert}},
+	)
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 || alerts[0].SubID != "expensive" {
+		t.Fatalf("alerts = %v, want only expensive", alerts)
+	}
+}
+
+func TestQuerySubscriptionTextUpdateFallsBackToParent(t *testing.T) {
+	oldDoc, newDoc, d := diffPair(t,
+		`<Catalog><Product><Name>a</Name><Price>$100</Price></Product></Catalog>`,
+		`<Catalog><Product><Name>a</Name><Price>$150</Price></Product></Catalog>`)
+	a := New(Subscription{ID: "price-watch", Query: xpathlite.MustCompile(`//Product/Price`), Kinds: []delta.Kind{delta.KindUpdate}})
+	alerts := a.Notify("doc", 2, oldDoc, newDoc, d)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"strings"
+
+	"xydiff/internal/dom"
+	"xydiff/internal/lcs"
+)
+
+// DiffMKResult is the output of the DiffMK-style differ: a flat edit
+// script over the linearized document, with no tree semantics, no
+// moves, and no persistent identification. The paper criticizes this
+// approach ("losing the benefit of tree structure of XML"); it is here
+// for the comparison experiments.
+type DiffMKResult struct {
+	Edits     []lcs.Edit
+	OldTokens []string
+	NewTokens []string
+}
+
+// DiffMK flattens both documents into token lists (start tags with
+// attributes, text, end tags) and diffs the lists, mimicking Sun's
+// DiffMK built on the Unix diff algorithm.
+func DiffMK(oldDoc, newDoc *dom.Node) *DiffMKResult {
+	a, b := Flatten(oldDoc), Flatten(newDoc)
+	return &DiffMKResult{Edits: lcs.Myers(a, b), OldTokens: a, NewTokens: b}
+}
+
+// Changed counts non-Keep edits.
+func (r *DiffMKResult) Changed() int {
+	n := 0
+	for _, e := range r.Edits {
+		if e.Kind != lcs.Keep {
+			n++
+		}
+	}
+	return n
+}
+
+// Size approximates the output size in bytes: every inserted or
+// deleted token is carried once, plus a marker byte.
+func (r *DiffMKResult) Size() int {
+	size := 0
+	for _, e := range r.Edits {
+		switch e.Kind {
+		case lcs.Delete:
+			size += len(r.OldTokens[e.AIdx]) + 2
+		case lcs.Insert:
+			size += len(r.NewTokens[e.BIdx]) + 2
+		}
+	}
+	return size
+}
+
+// Reconstruct replays the script, returning the token list of the new
+// document; tests use it to show the script is lossless even though the
+// representation is structure-blind.
+func (r *DiffMKResult) Reconstruct() []string {
+	var out []string
+	for _, e := range r.Edits {
+		switch e.Kind {
+		case lcs.Keep:
+			out = append(out, r.OldTokens[e.AIdx])
+		case lcs.Insert:
+			out = append(out, r.NewTokens[e.BIdx])
+		}
+	}
+	return out
+}
+
+// Flatten linearizes a document into the token list DiffMK operates on.
+func Flatten(doc *dom.Node) []string {
+	var out []string
+	var walk func(n *dom.Node)
+	walk = func(n *dom.Node) {
+		switch n.Type {
+		case dom.Document:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case dom.Element:
+			var b strings.Builder
+			b.WriteByte('<')
+			b.WriteString(n.Name)
+			for _, a := range n.Attrs {
+				b.WriteByte(' ')
+				b.WriteString(a.Name)
+				b.WriteString(`="`)
+				b.WriteString(a.Value)
+				b.WriteByte('"')
+			}
+			b.WriteByte('>')
+			out = append(out, b.String())
+			for _, c := range n.Children {
+				walk(c)
+			}
+			out = append(out, "</"+n.Name+">")
+		case dom.Text:
+			out = append(out, n.Value)
+		case dom.Comment:
+			out = append(out, "<!--"+n.Value+"-->")
+		case dom.ProcInst:
+			out = append(out, "<?"+n.Name+" "+n.Value+"?>")
+		}
+	}
+	walk(doc)
+	return out
+}

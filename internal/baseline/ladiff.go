@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/lcs"
+)
+
+// LaDiff computes a delta in the spirit of Chawathe et al.'s LaDiff
+// (SIGMOD 1996) fast match: leaves are matched first by label and value
+// similarity using a longest-common-subsequence pass, then internal
+// nodes are matched bottom-up when they share the majority of their
+// matched descendants. The matching is handed to the shared delta
+// constructor so the output format (including move detection between
+// matched nodes) is identical to BULD's.
+//
+// The LCS over leaf sequences makes the worst case quadratic in the
+// number of leaves, which is the complexity regime the paper reports
+// for this family of algorithms.
+func LaDiff(oldDoc, newDoc *dom.Node) (*delta.Delta, error) {
+	pairs := make(map[*dom.Node]*dom.Node)
+
+	oldLeaves := leaves(oldDoc)
+	newLeaves := leaves(newDoc)
+	// Pass 1: order-respecting leaf matching via LCS with a similarity
+	// predicate (equal labels, similar values).
+	matchedNew := make(map[*dom.Node]bool)
+	for _, p := range lcs.Longest(len(oldLeaves), len(newLeaves), func(i, j int) bool {
+		return leafSimilar(oldLeaves[i], newLeaves[j])
+	}) {
+		pairs[oldLeaves[p.AIdx]] = newLeaves[p.BIdx]
+		matchedNew[newLeaves[p.BIdx]] = true
+	}
+	// Pass 2: leftover exact-equal leaves (out-of-order moves).
+	byKey := make(map[leafKey][]*dom.Node)
+	for _, l := range newLeaves {
+		if !matchedNew[l] {
+			k := leafKey{l.Type, l.Name, l.Value}
+			byKey[k] = append(byKey[k], l)
+		}
+	}
+	for _, l := range oldLeaves {
+		if _, done := pairs[l]; done {
+			continue
+		}
+		k := leafKey{l.Type, l.Name, l.Value}
+		if cands := byKey[k]; len(cands) > 0 {
+			pairs[l] = cands[0]
+			matchedNew[cands[0]] = true
+			byKey[k] = cands[1:]
+		}
+	}
+
+	// Pass 3: bottom-up internal matching. An old element matches the
+	// new element that contains the plurality of its matched
+	// descendants' counterparts, when labels agree and the overlap
+	// clears half of the larger descendant count.
+	usedNew := make(map[*dom.Node]bool)
+	for _, n := range pairs {
+		usedNew[n] = true
+	}
+	counts := make(map[*dom.Node]int)
+	dom.WalkPost(oldDoc, func(o *dom.Node) bool {
+		if o.Type != dom.Element || len(o.Children) == 0 {
+			return true
+		}
+		if _, done := pairs[o]; done {
+			return true
+		}
+		clear(counts)
+		for _, c := range o.Children {
+			cn, ok := pairs[c]
+			if !ok || cn.Parent == nil {
+				continue
+			}
+			counts[cn.Parent] += c.Size()
+		}
+		var best *dom.Node
+		bestCount := 0
+		for cand, cnt := range counts {
+			if cnt > bestCount {
+				best, bestCount = cand, cnt
+			}
+		}
+		if best == nil || usedNew[best] || best.Type != dom.Element || best.Name != o.Name {
+			return true
+		}
+		larger := o.Size()
+		if s := best.Size(); s > larger {
+			larger = s
+		}
+		if 2*bestCount >= larger { // the FMES "common > 50%" criterion
+			pairs[o] = best
+			usedNew[best] = true
+		}
+		return true
+	})
+	return diff.FromMatching(oldDoc, newDoc, pairs, diff.Options{})
+}
+
+type leafKey struct {
+	typ   dom.NodeType
+	name  string
+	value string
+}
+
+func leaves(doc *dom.Node) []*dom.Node {
+	var out []*dom.Node
+	dom.WalkPre(doc, func(n *dom.Node) bool {
+		if len(n.Children) == 0 && n.Type != dom.Document {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// leafSimilar is LaDiff's leaf comparison: same kind and label, and for
+// text nodes a value similarity above 50%.
+func leafSimilar(a, b *dom.Node) bool {
+	if a.Type != b.Type || a.Name != b.Name {
+		return false
+	}
+	if a.Type != dom.Text || a.Value == b.Value {
+		return true
+	}
+	return similarity(a.Value, b.Value) >= 0.5
+}
+
+// similarity is a cheap common-prefix/suffix ratio, a stand-in for
+// LaDiff's string comparison that avoids a quadratic inner LCS.
+func similarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && a[prefix] == b[prefix] {
+		prefix++
+	}
+	suffix := 0
+	for suffix < len(a)-prefix && suffix < len(b)-prefix &&
+		a[len(a)-1-suffix] == b[len(b)-1-suffix] {
+		suffix++
+	}
+	return float64(prefix+suffix) / float64(maxLen)
+}

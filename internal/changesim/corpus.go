@@ -1,0 +1,90 @@
+package changesim
+
+import (
+	"math"
+	"math/rand"
+
+	"xydiff/internal/dom"
+)
+
+// CorpusDoc is one synthetic "crawled" document together with its
+// weekly-changed successor version, standing in for the paper's web
+// data set (Section 6.2: about two hundred XML documents that changed
+// on a per-week basis).
+type CorpusDoc struct {
+	Old *dom.Node
+	New *dom.Node
+	// Kind names the generator used (catalog, addressbook, site).
+	Kind string
+}
+
+// WebCorpus generates count document pairs whose sizes follow a
+// log-normal distribution centered near 20 KB — "the average size of an
+// XML document on the web is about twenty kilobytes" — with a weekly
+// change process of a few percent per node.
+func WebCorpus(rng *rand.Rand, count int) []CorpusDoc {
+	docs := make([]CorpusDoc, 0, count)
+	for i := 0; i < count; i++ {
+		size := lognormalSize(rng, 20_000, 1.2)
+		var doc *dom.Node
+		var kind string
+		switch rng.Intn(4) {
+		case 0:
+			doc, kind = CatalogOfSize(rng, size), "catalog"
+		case 1:
+			doc, kind = AddressBook(rng, size/150+1), "addressbook"
+		case 2:
+			doc, kind = Articles(rng, size/220+1), "articles"
+		default:
+			doc, kind = Site(rng, size/350+1), "site"
+		}
+		// Weekly change: light touch, mostly updates and few structure
+		// edits, matching what the paper observed on real pages.
+		p := Params{
+			DeleteProb: 0.01,
+			UpdateProb: 0.05,
+			InsertProb: 0.01,
+			MoveProb:   0.05,
+			Seed:       rng.Int63(),
+		}
+		res, err := Simulate(doc, p)
+		if err != nil {
+			// The simulator only fails on non-document input.
+			panic(err)
+		}
+		docs = append(docs, CorpusDoc{Old: doc, New: res.New, Kind: kind})
+	}
+	return docs
+}
+
+// lognormalSize draws a byte size with the given median and sigma,
+// clamped to [200, 2MB].
+func lognormalSize(rng *rand.Rand, median float64, sigma float64) int {
+	v := math.Exp(math.Log(median) + sigma*rng.NormFloat64())
+	if v < 200 {
+		v = 200
+	}
+	if v > 2_000_000 {
+		v = 2_000_000
+	}
+	return int(v)
+}
+
+// SiteSnapshotPair generates the Section 6.2 headline workload: two
+// snapshots of a ~14000-page web site (about five megabytes of XML),
+// the second snapshot reflecting a week of site evolution.
+func SiteSnapshotPair(seed int64, pages int) (*dom.Node, *dom.Node) {
+	rng := rand.New(rand.NewSource(seed))
+	oldDoc := Site(rng, pages)
+	res, err := Simulate(oldDoc, Params{
+		DeleteProb: 0.02,
+		UpdateProb: 0.06,
+		InsertProb: 0.02,
+		MoveProb:   0.10,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return oldDoc, res.New
+}

@@ -1,0 +1,186 @@
+package changesim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xydiff/internal/dom"
+)
+
+// Catalog generates a product-catalog document in the style of the
+// paper's running example: categories holding products with names,
+// prices, manufacturers and descriptions.
+func Catalog(rng *rand.Rand, categories, productsPerCategory int) *dom.Node {
+	doc := dom.NewDocument()
+	root := dom.NewElement("Catalog")
+	doc.Append(root)
+	id := 0
+	for c := 0; c < categories; c++ {
+		cat := dom.NewElement("Category")
+		title := dom.NewElement("Title")
+		title.Append(dom.NewText(fmt.Sprintf("%s %s", adjectives[rng.Intn(len(adjectives))], nouns[rng.Intn(len(nouns))])))
+		cat.Append(title)
+		for p := 0; p < productsPerCategory; p++ {
+			id++
+			prod := dom.NewElement("Product")
+			name := dom.NewElement("Name")
+			name.Append(dom.NewText(fmt.Sprintf("%s-%04d", codes[rng.Intn(len(codes))], id)))
+			price := dom.NewElement("Price")
+			price.Append(dom.NewText(fmt.Sprintf("$%d", 10+rng.Intn(2000))))
+			manu := dom.NewElement("Manufacturer")
+			manu.Append(dom.NewText(makers[rng.Intn(len(makers))]))
+			desc := dom.NewElement("Description")
+			desc.Append(dom.NewText(sentence(rng, 6+rng.Intn(20))))
+			prod.Append(name, price, manu, desc)
+			if rng.Intn(4) == 0 {
+				prod.SetAttribute("status", []string{"new", "sale", "standard"}[rng.Intn(3)])
+			}
+			cat.Append(prod)
+		}
+		root.Append(cat)
+	}
+	return doc
+}
+
+// CatalogOfSize generates a catalog whose serialization is close to
+// (and at least) the requested byte size.
+func CatalogOfSize(rng *rand.Rand, targetBytes int) *dom.Node {
+	// One product serializes to roughly 200 bytes.
+	products := targetBytes/200 + 1
+	perCategory := 10
+	categories := products/perCategory + 1
+	return Catalog(rng, categories, perCategory)
+}
+
+// AddressBook generates the paper's other motivating shape: a flat list
+// of person records ("adding or removing people in an address book").
+func AddressBook(rng *rand.Rand, people int) *dom.Node {
+	doc := dom.NewDocument()
+	root := dom.NewElement("AddressBook")
+	doc.Append(root)
+	for i := 0; i < people; i++ {
+		p := dom.NewElement("Person")
+		name := dom.NewElement("Name")
+		name.Append(dom.NewText(fmt.Sprintf("%s %s", firstNames[rng.Intn(len(firstNames))], lastNames[rng.Intn(len(lastNames))])))
+		email := dom.NewElement("Email")
+		email.Append(dom.NewText(fmt.Sprintf("user%d@example.org", rng.Intn(100000))))
+		tel := dom.NewElement("Phone")
+		tel.Append(dom.NewText(fmt.Sprintf("+33 1 %02d %02d %02d %02d", rng.Intn(100), rng.Intn(100), rng.Intn(100), rng.Intn(100))))
+		p.Append(name, email, tel)
+		root.Append(p)
+	}
+	return doc
+}
+
+// Site generates a web-site metadata document like the XML snapshots of
+// www.inria.fr the paper diffs in Section 6.2: one <page> per URL with
+// title, size, and outgoing links. 14000 pages yield roughly five
+// megabytes, matching the paper's figures.
+func Site(rng *rand.Rand, pages int) *dom.Node {
+	doc := dom.NewDocument()
+	root := dom.NewElement("site")
+	root.SetAttribute("host", "www.example.org")
+	doc.Append(root)
+	for i := 0; i < pages; i++ {
+		p := dom.NewElement("page")
+		p.SetAttribute("url", fmt.Sprintf("/dir%d/page%d.html", i%97, i))
+		title := dom.NewElement("title")
+		title.Append(dom.NewText(sentence(rng, 3+rng.Intn(6))))
+		size := dom.NewElement("size")
+		size.Append(dom.NewText(fmt.Sprintf("%d", 500+rng.Intn(90000))))
+		modified := dom.NewElement("modified")
+		modified.Append(dom.NewText(fmt.Sprintf("2001-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))))
+		p.Append(title, size, modified)
+		links := dom.NewElement("links")
+		for l := 0; l < 2+rng.Intn(6); l++ {
+			a := dom.NewElement("link")
+			a.SetAttribute("href", fmt.Sprintf("/dir%d/page%d.html", rng.Intn(97), rng.Intn(pages)))
+			links.Append(a)
+		}
+		p.Append(links)
+		root.Append(p)
+	}
+	return doc
+}
+
+// Generic generates a random labeled tree with the given approximate
+// node count and label alphabet, for experiments that need shape
+// control rather than realism.
+func Generic(rng *rand.Rand, nodes, maxChildren, labelCount int) *dom.Node {
+	doc := dom.NewDocument()
+	root := dom.NewElement("n0")
+	doc.Append(root)
+	open := []*dom.Node{root}
+	count := 1
+	for count < nodes && len(open) > 0 {
+		p := open[rng.Intn(len(open))]
+		if len(p.Children) >= maxChildren {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			if k := len(p.Children); k == 0 || p.Children[k-1].Type != dom.Text {
+				p.Append(dom.NewText(sentence(rng, 1+rng.Intn(5))))
+				count++
+			}
+			continue
+		}
+		el := dom.NewElement(fmt.Sprintf("n%d", rng.Intn(labelCount)))
+		p.Append(el)
+		open = append(open, el)
+		count++
+	}
+	return doc
+}
+
+// sentence builds deterministic filler text of n words.
+func sentence(rng *rand.Rand, n int) string {
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, words[rng.Intn(len(words))]...)
+	}
+	return string(out)
+}
+
+var (
+	adjectives = []string{"Digital", "Analog", "Compact", "Portable", "Wireless", "Refurbished", "Professional"}
+	nouns      = []string{"Cameras", "Phones", "Printers", "Laptops", "Monitors", "Routers", "Scanners"}
+	codes      = []string{"tx", "zy", "ab", "qr", "mk", "vn"}
+	makers     = []string{"Acme", "Globex", "Initech", "Umbrella", "Soylent", "Hooli"}
+	firstNames = []string{"Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "Leslie"}
+	lastNames  = []string{"Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Lamport"}
+	words      = []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+		"warehouse", "stores", "massive", "volume", "of", "xml", "data", "change",
+		"control", "version", "delta", "subtree", "match", "signature", "weight"}
+)
+
+// Articles generates a bibliography-style document (the DBLP-like shape
+// common in XML benchmarks): articles with authors, title, year and
+// venue. Its deep label repetition with varying fan-out stresses the
+// matcher differently than catalogs do.
+func Articles(rng *rand.Rand, count int) *dom.Node {
+	doc := dom.NewDocument()
+	root := dom.NewElement("bibliography")
+	doc.Append(root)
+	for i := 0; i < count; i++ {
+		art := dom.NewElement("article")
+		art.SetAttribute("key", fmt.Sprintf("ref/%04d", i))
+		for a := 0; a < 1+rng.Intn(4); a++ {
+			author := dom.NewElement("author")
+			author.Append(dom.NewText(fmt.Sprintf("%s %s",
+				firstNames[rng.Intn(len(firstNames))], lastNames[rng.Intn(len(lastNames))])))
+			art.Append(author)
+		}
+		title := dom.NewElement("title")
+		title.Append(dom.NewText(sentence(rng, 4+rng.Intn(8))))
+		year := dom.NewElement("year")
+		year.Append(dom.NewText(fmt.Sprintf("%d", 1990+rng.Intn(13))))
+		venue := dom.NewElement("venue")
+		venue.Append(dom.NewText([]string{"VLDB", "SIGMOD", "ICDE", "PODS", "WWW"}[rng.Intn(5)]))
+		art.Append(title, year, venue)
+		root.Append(art)
+	}
+	return doc
+}

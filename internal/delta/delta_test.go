@@ -1,0 +1,417 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"xydiff/internal/dom"
+	"xydiff/internal/xid"
+)
+
+// buildCatalog returns the paper's running example with XIDs assigned
+// in postfix order:
+//
+//	Title text=1 Title=2, Name text=3 Name=4, Price text=5 Price=6,
+//	Product=7, Discount=8, Name text=9 Name=10, Price text=11 Price=12,
+//	Product=13, NewProducts=14, Category=15, #document=16.
+func buildCatalog(t *testing.T) *dom.Node {
+	t.Helper()
+	doc, err := dom.ParseString(`<Category><Title>Digital Cameras</Title><Discount><Product><Name>tx123</Name><Price>$499</Price></Product></Discount><NewProducts><Product><Name>zy456</Name><Price>$799</Price></Product></NewProducts></Category>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xid.Assign(doc)
+	return doc
+}
+
+// paperDelta builds the delta from the paper's Section 4 example:
+// delete product tx123, insert product abc, move product zy456 from
+// NewProducts to Discount, update its price.
+func paperDelta(t *testing.T) *Delta {
+	t.Helper()
+	delSub, err := dom.ParseString(`<Product><Name>tx123</Name><Price>$499</Price></Product>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delMap, _ := xid.ParseMap("(3-7)")
+	insSub, err := dom.ParseString(`<Product><Name>abc</Name><Price>$899</Price></Product>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insMap, _ := xid.ParseMap("(17-21)")
+	d := &Delta{Ops: []Op{
+		Delete{XID: 7, XIDMap: delMap, Parent: 8, Pos: 0, Subtree: delSub.Root()},
+		Insert{XID: 21, XIDMap: insMap, Parent: 14, Pos: 0, Subtree: insSub.Root()},
+		Move{XID: 13, FromParent: 14, FromPos: 0, ToParent: 8, ToPos: 0},
+		Update{XID: 11, Old: "$799", New: "$699"},
+	}, NextXID: 22}
+	return d.Normalize()
+}
+
+const wantNewCatalog = `<Category><Title>Digital Cameras</Title><Discount><Product><Name>zy456</Name><Price>$699</Price></Product></Discount><NewProducts><Product><Name>abc</Name><Price>$899</Price></Product></NewProducts></Category>`
+
+func TestApplyPaperExample(t *testing.T) {
+	doc := buildCatalog(t)
+	d := paperDelta(t)
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dom.ParseString(wantNewCatalog)
+	if !dom.Equal(doc, want) {
+		t.Fatalf("apply result differs: %s\ngot:  %s", dom.Diagnose(doc, want), doc)
+	}
+	// The moved product kept its XIDs.
+	moved := dom.FindByXID(doc, 13)
+	if moved == nil || moved.Name != "Product" || moved.Parent.XID != 8 {
+		t.Fatalf("moved product lost identity: %v", moved)
+	}
+	// The inserted product got the fresh XIDs from the map.
+	ins := dom.FindByXID(doc, 21)
+	if ins == nil || ins.Name != "Product" {
+		t.Fatalf("inserted product missing: %v", ins)
+	}
+	if nameText := dom.FindByXID(doc, 17); nameText == nil || nameText.Value != "abc" {
+		t.Fatalf("inserted text xid wrong: %v", nameText)
+	}
+}
+
+func TestApplyCloneLeavesOriginal(t *testing.T) {
+	doc := buildCatalog(t)
+	before := doc.String()
+	got, err := ApplyClone(doc, paperDelta(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.String() != before {
+		t.Fatal("ApplyClone modified the original")
+	}
+	want, _ := dom.ParseString(wantNewCatalog)
+	if !dom.Equal(got, want) {
+		t.Fatalf("clone result differs: %s", dom.Diagnose(got, want))
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	doc := buildCatalog(t)
+	original := doc.Clone()
+	d := paperDelta(t)
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(doc, d.Invert()); err != nil {
+		t.Fatalf("apply inverse: %v", err)
+	}
+	if !dom.Equal(doc, original) {
+		t.Fatalf("invert round trip differs: %s", dom.Diagnose(doc, original))
+	}
+	// XIDs must also be restored.
+	for _, want := range []int64{7, 13, 11} {
+		if dom.FindByXID(doc, want) == nil {
+			t.Errorf("XID %d missing after round trip", want)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	d := paperDelta(t)
+	text, err := d.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseString(string(text))
+	if err != nil {
+		t.Fatalf("parse serialized delta: %v\n%s", err, text)
+	}
+	if d2.NextXID != d.NextXID {
+		t.Errorf("NextXID = %d, want %d", d2.NextXID, d.NextXID)
+	}
+	if got, want := d2.Count(), d.Count(); got != want {
+		t.Fatalf("counts after round trip %v, want %v", got, want)
+	}
+	// The re-parsed delta must behave identically.
+	doc := buildCatalog(t)
+	if err := Apply(doc, d2); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dom.ParseString(wantNewCatalog)
+	if !dom.Equal(doc, want) {
+		t.Fatalf("re-parsed delta apply differs: %s", dom.Diagnose(doc, want))
+	}
+	text2, _ := d2.MarshalText()
+	if string(text) != string(text2) {
+		t.Fatalf("serialization not stable:\n%s\nvs\n%s", text, text2)
+	}
+}
+
+func TestDeltaSizeAndCounts(t *testing.T) {
+	d := paperDelta(t)
+	c := d.Count()
+	if c.Inserts != 1 || c.Deletes != 1 || c.Updates != 1 || c.Moves != 1 || c.AttrOps != 0 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if d.Size() <= 0 {
+		t.Error("Size should be positive")
+	}
+	if !strings.Contains(c.String(), "1 ins") {
+		t.Errorf("Counts.String = %q", c)
+	}
+	var empty *Delta
+	if !empty.Empty() || !(&Delta{}).Empty() {
+		t.Error("Empty misbehaves")
+	}
+	if (&Delta{Ops: []Op{Update{}}}).Empty() {
+		t.Error("non-empty delta reported empty")
+	}
+}
+
+func TestAttributeOps(t *testing.T) {
+	doc, _ := dom.ParseString(`<a x="1"><b y="2"/></a>`)
+	xid.Assign(doc) // b=1 a=2 doc=3
+	d := &Delta{Ops: []Op{
+		InsertAttr{XID: 1, Name: "z", Value: "3"},
+		UpdateAttr{XID: 1, Name: "y", Old: "2", New: "22"},
+		DeleteAttr{XID: 2, Name: "x", Old: "1"},
+	}}
+	original := doc.Clone()
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	b := dom.FindByXID(doc, 1)
+	if v, _ := b.Attribute("z"); v != "3" {
+		t.Errorf("insert-attribute failed: %v", b.Attrs)
+	}
+	if v, _ := b.Attribute("y"); v != "22" {
+		t.Errorf("update-attribute failed: %v", b.Attrs)
+	}
+	if _, ok := dom.FindByXID(doc, 2).Attribute("x"); ok {
+		t.Error("delete-attribute failed")
+	}
+	if err := Apply(doc, d.Invert()); err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(doc, original) {
+		t.Fatalf("attr invert round trip: %s", dom.Diagnose(doc, original))
+	}
+}
+
+func TestMoveIntoInsertedSubtree(t *testing.T) {
+	doc, _ := dom.ParseString(`<r><keep/><mv/></r>`)
+	xid.Assign(doc) // keep=1 mv=2 r=3 doc=4
+	wrap, _ := dom.ParseString(`<wrap/>`)
+	m, _ := xid.ParseMap("(5)")
+	d := &Delta{Ops: []Op{
+		Insert{XID: 5, XIDMap: m, Parent: 3, Pos: 1, Subtree: wrap.Root()},
+		Move{XID: 2, FromParent: 3, FromPos: 1, ToParent: 5, ToPos: 0},
+	}}
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dom.ParseString(`<r><keep/><wrap><mv/></wrap></r>`)
+	if !dom.Equal(doc, want) {
+		t.Fatalf("nested attach differs: %s\ngot %s", dom.Diagnose(doc, want), doc)
+	}
+	// And back.
+	orig, _ := dom.ParseString(`<r><keep/><mv/></r>`)
+	if err := Apply(doc, d.Invert()); err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(doc, orig) {
+		t.Fatalf("nested invert differs: %s", dom.Diagnose(doc, orig))
+	}
+}
+
+func TestMoveOutOfDeletedSubtree(t *testing.T) {
+	doc, _ := dom.ParseString(`<r><del><survivor/></del><anchor/></r>`)
+	xid.Assign(doc) // survivor=1 del=2 anchor=3 r=4 doc=5
+	// The delete's recorded content excludes the moved-out survivor.
+	prunedDel, _ := dom.ParseString(`<del/>`)
+	m, _ := xid.ParseMap("(2)")
+	d := &Delta{Ops: []Op{
+		Move{XID: 1, FromParent: 2, FromPos: 0, ToParent: 4, ToPos: 0},
+		Delete{XID: 2, XIDMap: m, Parent: 4, Pos: 0, Subtree: prunedDel.Root()},
+	}}
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dom.ParseString(`<r><survivor/><anchor/></r>`)
+	if !dom.Equal(doc, want) {
+		t.Fatalf("got %s", doc)
+	}
+	orig, _ := dom.ParseString(`<r><del><survivor/></del><anchor/></r>`)
+	if err := Apply(doc, d.Invert()); err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(doc, orig) {
+		t.Fatalf("invert differs: %s", dom.Diagnose(doc, orig))
+	}
+}
+
+func TestWithinParentPermutationMoves(t *testing.T) {
+	doc, _ := dom.ParseString(`<r><a/><b/><c/><d/></r>`)
+	xid.Assign(doc) // a=1 b=2 c=3 d=4 r=5
+	// New order: b c d a — one move suffices (a to the end).
+	d := &Delta{Ops: []Op{
+		Move{XID: 1, FromParent: 5, FromPos: 0, ToParent: 5, ToPos: 3},
+	}}
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dom.ParseString(`<r><b/><c/><d/><a/></r>`)
+	if !dom.Equal(doc, want) {
+		t.Fatalf("got %s", doc)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	sub, _ := dom.ParseString(`<x/>`)
+	m1, _ := xid.ParseMap("(9)")
+	cases := []struct {
+		name string
+		d    *Delta
+	}{
+		{"update missing node", &Delta{Ops: []Op{Update{XID: 99, Old: "a", New: "b"}}}},
+		{"update wrong old", &Delta{Ops: []Op{Update{XID: 1, Old: "WRONG", New: "b"}}}},
+		{"move missing node", &Delta{Ops: []Op{Move{XID: 99}}}},
+		{"move wrong parent", &Delta{Ops: []Op{Move{XID: 2, FromParent: 99, ToParent: 16, ToPos: 0}}}},
+		{"delete missing node", &Delta{Ops: []Op{Delete{XID: 99, Parent: 8, Subtree: sub.Root()}}}},
+		{"delete wrong parent", &Delta{Ops: []Op{Delete{XID: 7, Parent: 99, Subtree: sub.Root()}}}},
+		{"delete wrong content", &Delta{Ops: []Op{Delete{XID: 7, Parent: 8, Pos: 0, Subtree: sub.Root()}}}},
+		{"insert unknown parent", &Delta{Ops: []Op{Insert{XID: 9, XIDMap: m1, Parent: 999, Pos: 0, Subtree: sub.Root()}}}},
+		{"insert bad position", &Delta{Ops: []Op{Insert{XID: 9, XIDMap: m1, Parent: 8, Pos: 5, Subtree: sub.Root()}}}},
+		{"insert nil subtree", &Delta{Ops: []Op{Insert{XID: 9, XIDMap: m1, Parent: 8, Pos: 0}}}},
+		{"attr insert dup", &Delta{Ops: []Op{InsertAttr{XID: 15, Name: "x"}, InsertAttr{XID: 15, Name: "x"}}}},
+		{"attr delete missing", &Delta{Ops: []Op{DeleteAttr{XID: 15, Name: "nope"}}}},
+		{"attr update missing", &Delta{Ops: []Op{UpdateAttr{XID: 15, Name: "nope"}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc := buildCatalog(t)
+			if err := Apply(doc, c.d); err == nil {
+				t.Errorf("Apply succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestUpdateTextNodeValue(t *testing.T) {
+	// XID 1 is the Title text node "Digital Cameras".
+	doc := buildCatalog(t)
+	d := &Delta{Ops: []Op{Update{XID: 1, Old: "Digital Cameras", New: "Analog Cameras"}}}
+	if err := Apply(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := dom.FindByXID(doc, 1).Value; got != "Analog Cameras" {
+		t.Errorf("updated value = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sub, _ := dom.ParseString(`<x><y/></x>`)
+	good, _ := xid.ParseMap("(4;7)")
+	if err := Validate(&Delta{Ops: []Op{Insert{XID: 7, XIDMap: good, Parent: 1, Pos: 0, Subtree: sub.Root()}}}); err != nil {
+		t.Errorf("valid delta rejected: %v", err)
+	}
+	short, _ := xid.ParseMap("(7)")
+	if err := Validate(&Delta{Ops: []Op{Insert{XID: 7, XIDMap: short, Parent: 1, Pos: 0, Subtree: sub.Root()}}}); err == nil {
+		t.Error("short xidmap accepted")
+	}
+	wrongRoot, _ := xid.ParseMap("(7;9)")
+	if err := Validate(&Delta{Ops: []Op{Insert{XID: 7, XIDMap: wrongRoot, Parent: 1, Pos: 0, Subtree: sub.Root()}}}); err == nil {
+		t.Error("wrong-root xidmap accepted")
+	}
+	if err := Validate(&Delta{Ops: []Op{Move{XID: 1, FromPos: -1}}}); err == nil {
+		t.Error("negative position accepted")
+	}
+	if err := Validate(&Delta{Ops: []Op{Delete{XID: 1, XIDMap: short, Pos: 0}}}); err == nil {
+		t.Error("nil subtree accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<notdelta/>`,
+		`<delta><unknown-op xid="1"/></delta>`,
+		`<delta><move xid="1" from-parent="2" from-pos="0" to-parent="3" to-pos="1"/></delta>`, // pos 0 is invalid (1-based)
+		`<delta><update xid="1"/></delta>`,
+		`<delta><insert xid="2" xidmap="(2)" parent="1" pos="1"/></delta>`,               // no content
+		`<delta><insert xid="2" xidmap="(2-3)" parent="1" pos="1"><x/></insert></delta>`, // map/size mismatch
+		`<delta><insert xid="2" parent="1" pos="1"><x/></insert></delta>`,                // missing map
+		`<delta><move xid="1"/></delta>`,
+		`<delta nextxid="zap"/>`,
+		`<delta><insert-attribute xid="1" value="v"/></delta>`,
+		`<delta><delete-attribute xid="1"/></delta>`,
+		`<delta><update-attribute xid="1"/></delta>`,
+		`<delta><update xid="x"><old/><new/></update></delta>`,
+	}
+	for _, s := range cases {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseEmptyDelta(t *testing.T) {
+	d, err := ParseString(`<delta/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Error("parsed <delta/> not empty")
+	}
+}
+
+func TestUpdateWithEmptyAndWhitespaceValues(t *testing.T) {
+	doc, _ := dom.ParseString(`<a>x</a>`)
+	xid.Assign(doc) // text=1 a=2 doc=3
+	d := &Delta{Ops: []Op{Update{XID: 1, Old: "x", New: " "}}}
+	text, _ := d.MarshalText()
+	d2, err := ParseString(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(doc, d2); err != nil {
+		t.Fatal(err)
+	}
+	if got := dom.FindByXID(doc, 1).Value; got != " " {
+		t.Errorf("whitespace value lost through XML: %q", got)
+	}
+	// And empty string new value.
+	d3 := &Delta{Ops: []Op{Update{XID: 1, Old: " ", New: ""}}}
+	text3, _ := d3.MarshalText()
+	d4, err := ParseString(string(text3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(doc, d4); err != nil {
+		t.Fatal(err)
+	}
+	if got := dom.FindByXID(doc, 1).Value; got != "" {
+		t.Errorf("empty value lost through XML: %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindInsert, KindDelete, KindUpdate, KindMove, KindInsertAttr, KindDeleteAttr, KindUpdateAttr}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("Kind %d has bad/dup name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Error("unknown kind String")
+	}
+}
+
+func TestOpTargetXIDs(t *testing.T) {
+	for _, d := range paperDelta(t).Ops {
+		if d.TargetXID() == 0 {
+			t.Errorf("op %v has zero target XID", d.Kind())
+		}
+	}
+}

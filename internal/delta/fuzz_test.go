@@ -1,0 +1,44 @@
+package delta
+
+import "testing"
+
+// FuzzParse: arbitrary delta documents either fail to parse or
+// round-trip stably; inverting twice is the identity on the XML form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<delta/>`,
+		`<delta nextxid="9"><update xid="1"><old>a</old><new>b</new></update></delta>`,
+		`<delta><move from-parent="2" from-pos="1" to-parent="3" to-pos="2" xid="1"/></delta>`,
+		`<delta><insert parent="1" pos="1" xid="5" xidmap="(4-5)"><e><f/></e></insert></delta>`,
+		`<delta><delete parent="1" pos="1" xid="5" xidmap="(5)"><e/></delete></delta>`,
+		`<delta><insert-attribute name="k" value="v" xid="3"/></delta>`,
+		`<delta><update xid="1"><old/><new> </new></update></delta>`,
+		`<delta><unknown/></delta>`,
+		`<delta><insert xid="2" xidmap="(1-2)" parent="1" pos="1"><a/></insert></delta>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text, err := d.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal after parse: %v", err)
+		}
+		d2, err := ParseString(string(text))
+		if err != nil {
+			t.Fatalf("canonical delta does not reparse: %v\n%s", err, text)
+		}
+		text2, _ := d2.MarshalText()
+		if string(text) != string(text2) {
+			t.Fatalf("unstable serialization:\n%s\nvs\n%s", text, text2)
+		}
+		twice, _ := d.Invert().Invert().MarshalText()
+		if string(twice) != string(text) {
+			t.Fatalf("double inversion changed delta:\n%s\nvs\n%s", text, twice)
+		}
+	})
+}

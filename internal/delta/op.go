@@ -1,0 +1,204 @@
+// Package delta implements the change representation model the paper
+// adopts from Marian et al. (VLDB 2001): a delta is a set of elementary
+// operations — subtree deletions, subtree insertions, value updates,
+// attribute changes and subtree moves — expressed against persistent
+// node identifiers (XIDs), itself stored as an XML document.
+//
+// Deltas here are "completed": a delete carries the removed subtree, an
+// update carries both the old and the new value. A completed delta
+// describes the transformation in both directions, so any delta can be
+// inverted (Invert) and any version of a document reconstructed from
+// any other version plus the connecting deltas (see package store).
+package delta
+
+import (
+	"fmt"
+
+	"xydiff/internal/dom"
+	"xydiff/internal/xid"
+)
+
+// Kind identifies the elementary operation an Op performs.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindInsert Kind = iota
+	KindDelete
+	KindUpdate
+	KindMove
+	KindInsertAttr
+	KindDeleteAttr
+	KindUpdateAttr
+)
+
+// String returns the delta-XML element name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindUpdate:
+		return "update"
+	case KindMove:
+		return "move"
+	case KindInsertAttr:
+		return "insert-attribute"
+	case KindDeleteAttr:
+		return "delete-attribute"
+	case KindUpdateAttr:
+		return "update-attribute"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one elementary operation of a delta.
+type Op interface {
+	Kind() Kind
+	// TargetXID returns the persistent identifier of the node the
+	// operation is about (the subtree root for structural operations).
+	TargetXID() int64
+}
+
+// Insert adds a subtree as the Pos-th child (0-based) of the node
+// identified by Parent. Positions refer to the target document: after
+// the whole delta is applied, the subtree root sits at index Pos.
+//
+// Subtree is the inserted content pruned of any node that arrives by a
+// Move operation; XIDMap lists the (fresh) XIDs of the content in
+// post-order, so XID == XIDMap.Root().
+type Insert struct {
+	XID     int64
+	XIDMap  xid.Map
+	Parent  int64
+	Pos     int
+	Subtree *dom.Node
+}
+
+// Kind implements Op.
+func (Insert) Kind() Kind { return KindInsert }
+
+// TargetXID implements Op.
+func (o Insert) TargetXID() int64 { return o.XID }
+
+// Delete removes the subtree rooted at XID, which sits at index Pos
+// (0-based, in the source document) under Parent. Subtree holds the
+// removed content pruned of any node that leaves by a Move operation,
+// making the delta completed and invertible.
+type Delete struct {
+	XID     int64
+	XIDMap  xid.Map
+	Parent  int64
+	Pos     int
+	Subtree *dom.Node
+}
+
+// Kind implements Op.
+func (Delete) Kind() Kind { return KindDelete }
+
+// TargetXID implements Op.
+func (o Delete) TargetXID() int64 { return o.XID }
+
+// Update replaces the value of the node identified by XID (character
+// data for text nodes, body for comments and processing instructions).
+type Update struct {
+	XID int64
+	Old string
+	New string
+}
+
+// Kind implements Op.
+func (Update) Kind() Kind { return KindUpdate }
+
+// TargetXID implements Op.
+func (o Update) TargetXID() int64 { return o.XID }
+
+// Move relocates the subtree rooted at XID from being the FromPos-th
+// child of FromParent (source-document coordinates) to being the
+// ToPos-th child of ToParent (target-document coordinates). Following
+// the paper, a move is much cheaper than delete+insert: the subtree
+// content never appears in the delta.
+type Move struct {
+	XID        int64
+	FromParent int64
+	FromPos    int
+	ToParent   int64
+	ToPos      int
+}
+
+// Kind implements Op.
+func (Move) Kind() Kind { return KindMove }
+
+// TargetXID implements Op.
+func (o Move) TargetXID() int64 { return o.XID }
+
+// InsertAttr adds an attribute to the element identified by XID.
+// Attributes are not nodes in this model (they have no XIDs and no
+// order); they are addressed by owner XID plus name.
+type InsertAttr struct {
+	XID   int64
+	Name  string
+	Value string
+}
+
+// Kind implements Op.
+func (InsertAttr) Kind() Kind { return KindInsertAttr }
+
+// TargetXID implements Op.
+func (o InsertAttr) TargetXID() int64 { return o.XID }
+
+// DeleteAttr removes an attribute; Old records the removed value so the
+// operation is invertible.
+type DeleteAttr struct {
+	XID  int64
+	Name string
+	Old  string
+}
+
+// Kind implements Op.
+func (DeleteAttr) Kind() Kind { return KindDeleteAttr }
+
+// TargetXID implements Op.
+func (o DeleteAttr) TargetXID() int64 { return o.XID }
+
+// UpdateAttr changes an attribute's value.
+type UpdateAttr struct {
+	XID  int64
+	Name string
+	Old  string
+	New  string
+}
+
+// Kind implements Op.
+func (UpdateAttr) Kind() Kind { return KindUpdateAttr }
+
+// TargetXID implements Op.
+func (o UpdateAttr) TargetXID() int64 { return o.XID }
+
+// invert returns the op that undoes o.
+func invert(o Op) Op {
+	switch op := o.(type) {
+	case Insert:
+		return Delete(op)
+	case Delete:
+		return Insert(op)
+	case Update:
+		return Update{XID: op.XID, Old: op.New, New: op.Old}
+	case Move:
+		return Move{
+			XID:        op.XID,
+			FromParent: op.ToParent, FromPos: op.ToPos,
+			ToParent: op.FromParent, ToPos: op.FromPos,
+		}
+	case InsertAttr:
+		return DeleteAttr{XID: op.XID, Name: op.Name, Old: op.Value}
+	case DeleteAttr:
+		return InsertAttr{XID: op.XID, Name: op.Name, Value: op.Old}
+	case UpdateAttr:
+		return UpdateAttr{XID: op.XID, Name: op.Name, Old: op.New, New: op.Old}
+	default:
+		panic(fmt.Sprintf("delta: unknown op type %T", o))
+	}
+}

@@ -1,0 +1,57 @@
+package diff
+
+import (
+	"fmt"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+	"xydiff/internal/xid"
+)
+
+// Compose aggregates a chain of deltas into a single delta with the
+// same effect: applying the result to base equals applying the chain
+// in order. This is the paper's delta aggregation ("we can aggregate
+// and inverse deltas"), implemented through the persistent
+// identification: the chain is replayed on a scratch copy, the XIDs
+// shared between the base and the final version define the matching,
+// and the standard delta constructor (with exact move minimization)
+// emits the aggregate. Intermediate churn — a node inserted by one
+// delta and deleted by a later one, a value updated twice, a subtree
+// moved repeatedly — collapses away.
+//
+// base must be the document the first delta applies to (XIDs
+// consistent with it); base itself is not modified.
+func Compose(base *dom.Node, deltas ...*delta.Delta) (*delta.Delta, error) {
+	if base == nil || base.Type != dom.Document {
+		return nil, fmt.Errorf("diff: compose needs the base Document")
+	}
+	if needsXIDs(base) {
+		xid.Assign(base)
+	}
+	final := base.Clone()
+	for i, d := range deltas {
+		if err := delta.Apply(final, d); err != nil {
+			return nil, fmt.Errorf("diff: compose: delta %d: %w", i+1, err)
+		}
+	}
+	// Matching by persistent identity: a node survives the chain iff
+	// its XID appears in the final version.
+	byXID := make(map[int64]*dom.Node, final.Size())
+	dom.WalkPre(final, func(n *dom.Node) bool {
+		if n.XID != 0 {
+			byXID[n.XID] = n
+		}
+		return true
+	})
+	pairs := make(map[*dom.Node]*dom.Node)
+	dom.WalkPre(base, func(o *dom.Node) bool {
+		if n := byXID[o.XID]; n != nil {
+			pairs[o] = n
+		}
+		return true
+	})
+	// Exact intra-parent move minimization: the aggregate should be at
+	// least as small as the chain it replaces. keepNewXIDs makes the
+	// aggregate assign the same identifiers the chain did.
+	return FromMatching(base, final, pairs, Options{LISWindow: -1, DisableIDAttributes: true, keepNewXIDs: true})
+}

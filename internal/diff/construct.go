@@ -1,0 +1,233 @@
+package diff
+
+import (
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+	"xydiff/internal/lcs"
+	"xydiff/internal/xid"
+)
+
+// buildDelta is Phase 5: given the final matching, derive a completed
+// delta. XIDs are assigned here: the old document keeps (or receives)
+// its post-order XIDs, matched new nodes inherit them, and unmatched
+// new nodes draw fresh identifiers from the allocator in post-order.
+func (m *matcher) buildDelta() *delta.Delta {
+	if needsXIDs(m.old.doc) {
+		xid.Assign(m.old.doc)
+	}
+	alloc := xid.AllocatorFor(m.old.doc)
+
+	// Transfer / allocate identifiers for the new version.
+	var maxXID int64
+	for ni, n := range m.new.nodes { // post-order
+		switch oi := m.newToOld[ni]; {
+		case oi >= 0:
+			n.XID = m.old.nodes[oi].XID
+		case m.opts.keepNewXIDs && n.XID != 0:
+			// Compose: the chain already named this node.
+		default:
+			n.XID = alloc.Next()
+		}
+		if n.XID > maxXID {
+			maxXID = n.XID
+		}
+	}
+
+	d := &delta.Delta{}
+
+	// Updates and attribute changes on matched pairs.
+	for oi, ni := range m.oldToNew {
+		if ni < 0 {
+			continue
+		}
+		o, n := m.old.nodes[oi], m.new.nodes[ni]
+		switch o.Type {
+		case dom.Text, dom.Comment, dom.ProcInst:
+			if o.Value != n.Value {
+				d.Ops = append(d.Ops, delta.Update{XID: o.XID, Old: o.Value, New: n.Value})
+			}
+		case dom.Element:
+			m.diffAttributes(d, o, n)
+		}
+	}
+
+	// Deletes: maximal unmatched old subtrees.
+	dom.WalkPre(m.old.doc, func(o *dom.Node) bool {
+		oi := m.old.index[o]
+		if m.oldToNew[oi] >= 0 {
+			return true // matched: descend
+		}
+		if po := m.old.parent[oi]; po >= 0 && m.oldToNew[po] >= 0 {
+			content := m.pruneOld(o)
+			d.Ops = append(d.Ops, delta.Delete{
+				XID:     o.XID,
+				XIDMap:  xid.Of(content),
+				Parent:  m.old.nodes[po].XID,
+				Pos:     m.old.childPos[oi],
+				Subtree: content,
+			})
+		}
+		return true // descend: matched descendants still need move ops
+	})
+
+	// Inserts: maximal unmatched new subtrees.
+	dom.WalkPre(m.new.doc, func(n *dom.Node) bool {
+		ni := m.new.index[n]
+		if m.newToOld[ni] >= 0 {
+			return true
+		}
+		if pn := m.new.parent[ni]; pn >= 0 && m.newToOld[pn] >= 0 {
+			content := m.pruneNew(n)
+			d.Ops = append(d.Ops, delta.Insert{
+				XID:     n.XID,
+				XIDMap:  xid.Of(content),
+				Parent:  m.new.nodes[pn].XID,
+				Pos:     m.new.childPos[ni],
+				Subtree: content,
+			})
+		}
+		return true
+	})
+
+	// Inter-parent moves.
+	for oi, ni := range m.oldToNew {
+		if ni < 0 || oi == m.old.root() {
+			continue
+		}
+		po, pn := m.old.parent[oi], m.new.parent[ni]
+		if po < 0 || pn < 0 {
+			continue
+		}
+		if m.newToOld[pn] != po {
+			d.Ops = append(d.Ops, delta.Move{
+				XID:        m.old.nodes[oi].XID,
+				FromParent: m.old.nodes[po].XID,
+				FromPos:    m.old.childPos[oi],
+				ToParent:   m.new.nodes[pn].XID,
+				ToPos:      m.new.childPos[ni],
+			})
+		}
+	}
+
+	// Intra-parent moves: for every matched pair of parents, children
+	// that stayed may be out of order. A maximum-weight increasing
+	// subsequence gives the cheapest set of nodes to move (moving a
+	// node costs its weight); beyond the window the paper's block
+	// heuristic applies.
+	window := m.opts.lisWindow()
+	for oi, ni := range m.oldToNew {
+		if ni < 0 {
+			continue
+		}
+		o, n := m.old.nodes[oi], m.new.nodes[ni]
+		if len(o.Children) < 2 || len(n.Children) == 0 {
+			continue
+		}
+		var items []lcs.Item
+		var kept []int // old child index per item
+		for _, c := range o.Children {
+			ci := m.old.index[c]
+			cn := m.oldToNew[ci]
+			if cn < 0 || m.new.parent[cn] != ni {
+				continue
+			}
+			items = append(items, lcs.Item{Key: m.new.childPos[cn], Weight: m.old.weight[ci]})
+			kept = append(kept, ci)
+		}
+		if len(items) < 2 {
+			continue
+		}
+		stay := lcs.WindowedIncreasing(items, window)
+		inStay := make(map[int]bool, len(stay))
+		for _, s := range stay {
+			inStay[s] = true
+		}
+		for k, ci := range kept {
+			if inStay[k] {
+				continue
+			}
+			cn := m.oldToNew[ci]
+			d.Ops = append(d.Ops, delta.Move{
+				XID:        m.old.nodes[ci].XID,
+				FromParent: o.XID,
+				FromPos:    m.old.childPos[ci],
+				ToParent:   n.XID,
+				ToPos:      m.new.childPos[cn],
+			})
+		}
+	}
+
+	d.NextXID = alloc.Peek()
+	if maxXID+1 > d.NextXID {
+		d.NextXID = maxXID + 1
+	}
+	return d.Normalize()
+}
+
+// diffAttributes emits attribute operations for a matched element pair.
+func (m *matcher) diffAttributes(d *delta.Delta, o, n *dom.Node) {
+	if len(o.Attrs) == 0 && len(n.Attrs) == 0 {
+		return
+	}
+	for _, a := range o.Attrs {
+		nv, ok := n.Attribute(a.Name)
+		switch {
+		case !ok:
+			d.Ops = append(d.Ops, delta.DeleteAttr{XID: o.XID, Name: a.Name, Old: a.Value})
+		case nv != a.Value:
+			d.Ops = append(d.Ops, delta.UpdateAttr{XID: o.XID, Name: a.Name, Old: a.Value, New: nv})
+		}
+	}
+	for _, a := range n.Attrs {
+		if _, ok := o.Attribute(a.Name); !ok {
+			d.Ops = append(d.Ops, delta.InsertAttr{XID: o.XID, Name: a.Name, Value: a.Value})
+		}
+	}
+}
+
+// pruneOld clones an unmatched old subtree, dropping matched
+// descendants (they leave via move operations), so the delete op's
+// recorded content is exactly what remains at detach time.
+func (m *matcher) pruneOld(o *dom.Node) *dom.Node {
+	c := &dom.Node{Type: o.Type, Name: o.Name, Value: o.Value, XID: o.XID}
+	if len(o.Attrs) > 0 {
+		c.Attrs = make([]dom.Attr, len(o.Attrs))
+		copy(c.Attrs, o.Attrs)
+	}
+	for _, ch := range o.Children {
+		if m.oldToNew[m.old.index[ch]] >= 0 {
+			continue
+		}
+		c.Append(m.pruneOld(ch))
+	}
+	return c
+}
+
+// pruneNew clones an unmatched new subtree, dropping matched
+// descendants (they arrive via move operations).
+func (m *matcher) pruneNew(n *dom.Node) *dom.Node {
+	c := &dom.Node{Type: n.Type, Name: n.Name, Value: n.Value, XID: n.XID}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]dom.Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	for _, ch := range n.Children {
+		if m.newToOld[m.new.index[ch]] >= 0 {
+			continue
+		}
+		c.Append(m.pruneNew(ch))
+	}
+	return c
+}
+
+func needsXIDs(doc *dom.Node) bool {
+	missing := false
+	dom.WalkPre(doc, func(n *dom.Node) bool {
+		if n.XID == 0 {
+			missing = true
+			return false
+		}
+		return true
+	})
+	return missing
+}

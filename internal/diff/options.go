@@ -1,0 +1,97 @@
+// Package diff implements BULD ("Bottom-Up, Lazy-Down"), the paper's
+// diff algorithm for XML documents (Section 5). Given two versions of
+// a document it computes a matching between their nodes and derives a
+// completed delta (package delta) with insert, delete, update, move and
+// attribute operations.
+//
+// The five phases follow the paper:
+//
+//  1. match nodes carrying DTD-declared ID attributes;
+//  2. compute subtree signatures and weights, seed a priority queue
+//     with the new document's subtrees;
+//  3. pop subtrees heaviest-first and match them against old subtrees
+//     with identical signatures, choosing the candidate closest to the
+//     existing matching and propagating accepted matches to ancestors
+//     (bounded by subtree weight);
+//  4. structure-based bottom-up and top-down propagation passes;
+//  5. construct the delta, using a maximum-weight increasing
+//     subsequence to emit an optimal set of intra-parent moves (or the
+//     paper's windowed heuristic for very long child lists).
+package diff
+
+import "xydiff/internal/dtd"
+
+// DefaultLISWindow is the paper's block length for the intra-parent
+// move heuristic ("a maximum length (e.g. 50)").
+const DefaultLISWindow = 50
+
+// Options tune the algorithm. The zero value reproduces the paper's
+// configuration.
+type Options struct {
+	// IDAttrs declares ID attributes explicitly (element name -> ID
+	// attribute name), in addition to any discovered from the old
+	// document's internal DTD subset.
+	IDAttrs dtd.IDAttrs
+
+	// DisableIDAttributes skips Phase 1 entirely (ablation: the paper
+	// notes ID attributes decide most matches when present).
+	DisableIDAttributes bool
+
+	// LISWindow bounds the exact maximum-weight-increasing-subsequence
+	// computation for intra-parent move detection. Child lists longer
+	// than the window use the paper's block heuristic. 0 selects
+	// DefaultLISWindow; a negative value forces the exact algorithm
+	// regardless of length.
+	LISWindow int
+
+	// PropagationPasses is the number of bottom-up/top-down rounds in
+	// Phase 4. 0 selects the paper's single round.
+	PropagationPasses int
+
+	// EagerDown disables the "lazy down" strategy: after every accepted
+	// match, unique-label children are matched immediately instead of
+	// waiting for Phase 4 (ablation; the paper argues lazy is what
+	// keeps the algorithm quasi-linear).
+	EagerDown bool
+
+	// MaxAncestorDepth overrides the weight-dependent bound
+	// d = 1 + ceil(log2(n) * W/W0) used both for candidate evaluation
+	// and for bottom-up ancestor matching. 0 keeps the formula.
+	MaxAncestorDepth int
+
+	// MaxCandidates caps how many equal-signature candidates are
+	// scanned per ancestor level before giving up (the secondary index
+	// still finds parent-supported candidates in O(1)). 0 selects 64.
+	MaxCandidates int
+
+	// keepNewXIDs makes delta construction retain non-zero XIDs already
+	// present on unmatched new nodes instead of allocating fresh ones.
+	// Compose uses it so an aggregated delta assigns the same
+	// identifiers the original chain did.
+	keepNewXIDs bool
+}
+
+func (o Options) lisWindow() int {
+	switch {
+	case o.LISWindow < 0:
+		return 1 << 30 // effectively unbounded: exact everywhere
+	case o.LISWindow == 0:
+		return DefaultLISWindow
+	default:
+		return o.LISWindow
+	}
+}
+
+func (o Options) passes() int {
+	if o.PropagationPasses <= 0 {
+		return 1
+	}
+	return o.PropagationPasses
+}
+
+func (o Options) maxCandidates() int {
+	if o.MaxCandidates <= 0 {
+		return 64
+	}
+	return o.MaxCandidates
+}

@@ -1,0 +1,191 @@
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+)
+
+// TestDiffDeepChain exercises recursion depth: a 5000-level chain of
+// single-child elements with a change at the bottom.
+func TestDiffDeepChain(t *testing.T) {
+	depth := 5000
+	build := func(leaf string) *dom.Node {
+		doc := dom.NewDocument()
+		cur := doc
+		for i := 0; i < depth; i++ {
+			el := dom.NewElement(fmt.Sprintf("d%d", i%7))
+			cur.Append(el)
+			cur = el
+		}
+		cur.Append(dom.NewText(leaf))
+		return doc
+	}
+	oldDoc, newDoc := build("bottom"), build("changed")
+	d, err := Diff(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := delta.ApplyClone(oldDoc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(got, newDoc) {
+		t.Fatal("deep chain diff broken")
+	}
+	if c := d.Count(); c.Updates != 1 || c.Total() != 1 {
+		t.Errorf("expected exactly one update at the bottom, got %v", c)
+	}
+}
+
+// TestDiffWideChildList exercises the intra-parent windowed LIS: 3000
+// children with a block rotation.
+func TestDiffWideChildList(t *testing.T) {
+	n := 3000
+	build := func(rotate int) *dom.Node {
+		doc := dom.NewDocument()
+		root := dom.NewElement("r")
+		doc.Append(root)
+		for i := 0; i < n; i++ {
+			el := dom.NewElement("item")
+			el.SetAttribute("k", fmt.Sprintf("%d", (i+rotate)%n))
+			el.Append(dom.NewText(fmt.Sprintf("content %d", (i+rotate)%n)))
+			root.Append(el)
+		}
+		return doc
+	}
+	oldDoc, newDoc := build(0), build(25) // rotation by 25 positions
+	d, err := Diff(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := delta.ApplyClone(oldDoc, d)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !dom.Equal(got, newDoc) {
+		t.Fatal("wide child list diff broken")
+	}
+	// A rotation by k should cost about k moves (the heavy common run
+	// stays put), not O(n).
+	if c := d.Count(); c.Moves > 100 || c.Deletes+c.Inserts > 0 {
+		t.Errorf("rotation cost too high: %v", c)
+	}
+}
+
+// TestDiffManyIdenticalSiblings: hundreds of same-label, same-content
+// children — the degenerate case for signature matching. Correctness
+// must hold and the delta must stay small.
+func TestDiffManyIdenticalSiblings(t *testing.T) {
+	build := func(extra int) *dom.Node {
+		var b strings.Builder
+		b.WriteString("<r>")
+		for i := 0; i < 400+extra; i++ {
+			b.WriteString("<dup><v>same</v></dup>")
+		}
+		b.WriteString("</r>")
+		doc, err := dom.ParseString(b.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	oldDoc, newDoc := build(0), build(3)
+	d, err := Diff(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := delta.ApplyClone(oldDoc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(got, newDoc) {
+		t.Fatal("identical-siblings diff broken")
+	}
+	if c := d.Count(); c.Inserts != 3 || c.Deletes != 0 {
+		t.Errorf("expected 3 inserts, got %v", c)
+	}
+}
+
+// TestDiffLongTextValues: megabyte-scale text nodes must diff as a
+// single update, and the log-based text weights must not overflow.
+func TestDiffLongTextValues(t *testing.T) {
+	big1 := strings.Repeat("lorem ipsum ", 50_000)
+	big2 := big1 + "changed"
+	oldDoc, _ := dom.ParseString("<r><blob>" + big1 + "</blob><anchor>stable</anchor></r>")
+	newDoc, _ := dom.ParseString("<r><blob>" + big2 + "</blob><anchor>stable</anchor></r>")
+	d, err := Diff(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Count(); c.Updates != 1 || c.Total() != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+// TestDiffUnicodeContent: multi-byte labels, attributes and text.
+func TestDiffUnicodeContent(t *testing.T) {
+	roundTrip(t,
+		`<каталог><товар цена="¥1000">фотоаппарат 📷</товар></каталог>`,
+		`<каталог><товар цена="¥900">фотоаппарат 📷</товар><товар цена="€5">плёнка</товар></каталог>`,
+		Options{})
+}
+
+// TestDiffAllNodeTypesChurn mixes every node type under heavy edits.
+func TestDiffAllNodeTypesChurn(t *testing.T) {
+	roundTrip(t,
+		`<r><!--a--><?pi one?><e k="1">text<sub/></e>tail</r>`,
+		`<r><?pi two?><e k="2"><sub/>text2</e><!--b-->tail2<new/></r>`,
+		Options{})
+}
+
+// TestDiffSelfSimilarStructure: recursively self-similar documents
+// where every subtree at a given depth is identical.
+func TestDiffSelfSimilarStructure(t *testing.T) {
+	var build func(depth int) string
+	build = func(depth int) string {
+		if depth == 0 {
+			return "<leaf/>"
+		}
+		child := build(depth - 1)
+		return "<n>" + child + child + "</n>"
+	}
+	oldXML := "<root>" + build(7) + "</root>" // 2^8-ish identical subtrees
+	newXML := "<root>" + build(7) + "<extra/></root>"
+	d := roundTrip(t, oldXML, newXML, Options{})
+	if c := d.Count(); c.Inserts != 1 || c.Total() != 1 {
+		t.Errorf("self-similar diff counts = %v", c)
+	}
+}
+
+// TestDiffDeterministic: the algorithm must produce byte-identical
+// deltas across runs — map iteration order must never leak into the
+// output (the store and its on-disk format depend on this).
+func TestDiffDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		oldDoc := randomDoc(rng, 80)
+		newDoc := oldDoc.Clone()
+		mutate(rng, newDoc, 6)
+		var first []byte
+		for run := 0; run < 5; run++ {
+			d, err := Diff(oldDoc.Clone(), newDoc.Clone(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			text, err := d.MarshalText()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run == 0 {
+				first = text
+			} else if string(text) != string(first) {
+				t.Fatalf("trial %d: nondeterministic delta:\n%s\nvs\n%s", trial, first, text)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package diff
+
+import (
+	"math"
+
+	"xydiff/internal/dom"
+)
+
+// tree annotates one document with the dense per-node arrays the BULD
+// phases need: post-order numbering, parent/child indexes, subtree
+// weights and signatures. Keeping these out of dom.Node keeps the hot
+// loops cache-friendly and the DOM clean.
+type tree struct {
+	doc   *dom.Node
+	nodes []*dom.Node       // post-order
+	index map[*dom.Node]int // node -> post-order position
+
+	parent   []int     // post-order index of parent (-1 for document)
+	childPos []int     // position among parent's children
+	weight   []float64 // paper's weights: text 1+log2(len), element 1+sum
+	sig      []uint64  // subtree content signature
+
+	totalWeight float64
+}
+
+func newTree(doc *dom.Node) *tree {
+	n := doc.Size()
+	t := &tree{
+		doc:      doc,
+		nodes:    make([]*dom.Node, 0, n),
+		index:    make(map[*dom.Node]int, n),
+		parent:   make([]int, 0, n),
+		childPos: make([]int, 0, n),
+		weight:   make([]float64, n),
+		sig:      make([]uint64, n),
+	}
+	dom.WalkPost(doc, func(x *dom.Node) bool {
+		t.index[x] = len(t.nodes)
+		t.nodes = append(t.nodes, x)
+		t.parent = append(t.parent, -1) // fixed up below
+		t.childPos = append(t.childPos, 0)
+		return true
+	})
+	for i, x := range t.nodes {
+		for pos, c := range x.Children {
+			ci := t.index[c]
+			t.parent[ci] = i
+			t.childPos[ci] = pos
+		}
+	}
+	t.computeSignatures()
+	return t
+}
+
+func (t *tree) len() int { return len(t.nodes) }
+
+// root returns the post-order index of the document node (always last).
+func (t *tree) root() int { return len(t.nodes) - 1 }
+
+// computeSignatures fills weight and sig in one post-order sweep
+// (Phase 2). The signature of a node hashes its type, label, value,
+// attributes (sorted) and the signatures of its children in order, so
+// it uniquely represents the content of the whole subtree. Weights
+// follow Section 5.2: 1 + log2(1+len) for leaves carrying text,
+// 1 + sum(children) for elements.
+func (t *tree) computeSignatures() {
+	for i, x := range t.nodes { // post-order: children before parents
+		h := newHash()
+		h.mixByte(byte(x.Type))
+		h.mixString(x.Name)
+		switch x.Type {
+		case dom.Element, dom.Document:
+			for _, a := range sortedAttrs(x) {
+				h.mixString(a.Name)
+				h.mixByte(0x1)
+				h.mixString(a.Value)
+				h.mixByte(0x2)
+			}
+			w := 1.0
+			for _, c := range x.Children {
+				ci := t.index[c]
+				h.mixUint64(t.sig[ci])
+				w += t.weight[ci]
+			}
+			t.weight[i] = w
+		default: // Text, Comment, ProcInst
+			h.mixString(x.Value)
+			t.weight[i] = 1 + math.Log2(float64(1+len(x.Value)))
+		}
+		t.sig[i] = h.sum()
+	}
+	t.totalWeight = t.weight[t.root()]
+}
+
+// ancestor returns the index of the level-th ancestor of i, or -1.
+func (t *tree) ancestor(i, level int) int {
+	for ; level > 0 && i >= 0; level-- {
+		i = t.parent[i]
+	}
+	return i
+}
+
+// sortedAttrs mirrors dom's canonical ordering without exporting it.
+func sortedAttrs(n *dom.Node) []dom.Attr {
+	if len(n.Attrs) < 2 {
+		return n.Attrs
+	}
+	s := make([]dom.Attr, len(n.Attrs))
+	copy(s, n.Attrs)
+	for i := 1; i < len(s); i++ { // insertion sort: attr lists are tiny
+		for j := i; j > 0 && s[j].Name < s[j-1].Name; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}
+
+// fnv1a, inlined to avoid per-node allocations of hash.Hash64.
+type hash64 uint64
+
+func newHash() hash64 { return 14695981039346656037 }
+
+func (h *hash64) mixByte(b byte) {
+	*h = (*h ^ hash64(b)) * 1099511628211
+}
+
+func (h *hash64) mixString(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * 1099511628211
+	}
+	x = (x ^ 0x1f) * 1099511628211 // terminator so "ab","c" != "a","bc"
+	*h = hash64(x)
+}
+
+func (h *hash64) mixUint64(v uint64) {
+	x := uint64(*h)
+	for s := 0; s < 64; s += 8 {
+		x = (x ^ (v >> s & 0xff)) * 1099511628211
+	}
+	*h = hash64(x)
+}
+
+func (h hash64) sum() uint64 { return uint64(h) }

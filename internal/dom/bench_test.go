@@ -1,0 +1,74 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchDoc(depth, fanout int) string {
+	var b strings.Builder
+	var rec func(d int)
+	rec = func(d int) {
+		if d == 0 {
+			b.WriteString("<leaf>some text content here</leaf>")
+			return
+		}
+		b.WriteString("<node attr=\"value\">")
+		for i := 0; i < fanout; i++ {
+			rec(d - 1)
+		}
+		b.WriteString("</node>")
+	}
+	rec(depth)
+	return b.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := benchDoc(5, 4) // ~1400 nodes
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	doc, err := ParseString(benchDoc(5, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = doc.String()
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	doc, _ := ParseString(benchDoc(5, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = doc.Clone()
+	}
+}
+
+func BenchmarkEqual(b *testing.B) {
+	doc, _ := ParseString(benchDoc(5, 4))
+	other := doc.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Equal(doc, other) {
+			b.Fatal("unexpectedly unequal")
+		}
+	}
+}
+
+func BenchmarkWalkPost(b *testing.B) {
+	doc, _ := ParseString(benchDoc(5, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		WalkPost(doc, func(*Node) bool { n++; return true })
+	}
+}

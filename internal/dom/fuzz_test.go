@@ -1,0 +1,38 @@
+package dom
+
+import "testing"
+
+// FuzzParse: anything that parses must serialize canonically and
+// reparse to an equal tree.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b x="1">text</b><!--c--><?pi d?></a>`,
+		`<a>&lt;&amp;&gt;</a>`,
+		`<a xmlns:n="urn:x"><n:b/></a>`,
+		`<a><![CDATA[raw <stuff>]]></a>`,
+		`<!DOCTYPE a [<!ATTLIST e k ID #IMPLIED>]><a><e k="1"/></a>`,
+		"<a>\n  mixed <b/> content\n</a>",
+		`<a`, `</a>`, ``, `plain`, `<a><b></a></b>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return // malformed input: rejection is fine, panics are not
+		}
+		out := doc.String()
+		re, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("canonical output does not reparse: %v\nsource: %q\noutput: %q", err, src, out)
+		}
+		if !Equal(doc, re) {
+			t.Fatalf("reparse changed tree: %s\nsource: %q", Diagnose(doc, re), src)
+		}
+		if out2 := re.String(); out != out2 {
+			t.Fatalf("serialization unstable: %q vs %q", out, out2)
+		}
+	})
+}

@@ -1,0 +1,315 @@
+// Package dom implements the ordered-tree model for XML documents used
+// throughout the library: the simple model of the paper's Section 4,
+// where each node has a list of children, element nodes carry a label
+// and attributes, and text nodes carry character data.
+//
+// The package deliberately keeps nodes free of diff bookkeeping
+// (weights, signatures, matchings live in the diff package) so that a
+// Node is a plain, serializable document fragment.
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeType discriminates the kinds of nodes in the tree model.
+type NodeType uint8
+
+// Node kinds. Document is a synthetic root that wraps the top-level
+// element (and any top-level comments or processing instructions); it
+// guarantees that every real node has a parent, which simplifies the
+// diff's move/insert bookkeeping.
+const (
+	Document NodeType = iota
+	Element
+	Text
+	Comment
+	ProcInst
+)
+
+// String returns the lowercase name of the node type.
+func (t NodeType) String() string {
+	switch t {
+	case Document:
+		return "document"
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Comment:
+		return "comment"
+	case ProcInst:
+		return "procinst"
+	default:
+		return fmt.Sprintf("nodetype(%d)", uint8(t))
+	}
+}
+
+// Attr is a single attribute of an element node. Attribute order is
+// irrelevant in XML; comparisons in this package are order-insensitive.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one node of an ordered XML tree.
+//
+// Meaning of the fields by type:
+//
+//	Document: Name and Value empty; Children are the document items.
+//	Element:  Name is the tag; Attrs the attributes; Value empty.
+//	Text:     Value is the character data.
+//	Comment:  Value is the comment body.
+//	ProcInst: Name is the target, Value the instruction body.
+//
+// XID is the persistent identifier assigned by the versioning layer
+// (zero means "not assigned"). See package xid.
+type Node struct {
+	Type     NodeType
+	Name     string
+	Value    string
+	Attrs    []Attr
+	Children []*Node
+	Parent   *Node
+	XID      int64
+
+	// Doctype holds the raw text of the <!DOCTYPE ...> directive for
+	// Document nodes (without the leading "<!" and trailing ">"). The
+	// diff feeds it to package dtd to discover ID attributes.
+	Doctype string
+}
+
+// NewDocument returns an empty Document node.
+func NewDocument() *Node { return &Node{Type: Document} }
+
+// NewElement returns an element node with the given tag.
+func NewElement(name string) *Node { return &Node{Type: Element, Name: name} }
+
+// NewText returns a text node with the given character data.
+func NewText(value string) *Node { return &Node{Type: Text, Value: value} }
+
+// Root returns the first element child of a document node, or n itself
+// when n is not a document. It returns nil for an empty document.
+func (n *Node) Root() *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Type != Document {
+		return n
+	}
+	for _, c := range n.Children {
+		if c.Type == Element {
+			return c
+		}
+	}
+	return nil
+}
+
+// Append adds children to n, setting their Parent pointers, and
+// returns n for chaining.
+func (n *Node) Append(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// InsertAt inserts child c at position i (0-based) among n's children.
+// It panics if i is out of range [0, len(children)].
+func (n *Node) InsertAt(i int, c *Node) {
+	if i < 0 || i > len(n.Children) {
+		panic(fmt.Sprintf("dom: InsertAt position %d out of range [0,%d]", i, len(n.Children)))
+	}
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+	c.Parent = n
+}
+
+// RemoveAt removes and returns the child at position i.
+func (n *Node) RemoveAt(i int) *Node {
+	c := n.Children[i]
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children[len(n.Children)-1] = nil
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return c
+}
+
+// Detach removes n from its parent's child list. It is a no-op for a
+// node without a parent. It returns the position the node occupied, or
+// -1 when it had no parent.
+func (n *Node) Detach() int {
+	p := n.Parent
+	if p == nil {
+		return -1
+	}
+	i := n.Index()
+	p.RemoveAt(i)
+	return i
+}
+
+// Index returns the position of n among its parent's children, or -1
+// if n has no parent. The scan is linear; diff internals keep their own
+// position arrays instead of calling this in hot loops.
+func (n *Node) Index() int {
+	if n.Parent == nil {
+		return -1
+	}
+	for i, c := range n.Parent.Children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// Attribute returns the value of the named attribute and whether it is
+// present.
+func (n *Node) Attribute(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttribute sets or replaces the named attribute.
+func (n *Node) SetAttribute(name, value string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// RemoveAttribute deletes the named attribute, reporting whether it was
+// present.
+func (n *Node) RemoveAttribute(name string) bool {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs = append(n.Attrs[:i], n.Attrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The clone's
+// Parent is nil; XIDs are copied.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Type: n.Type, Name: n.Name, Value: n.Value, XID: n.XID}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, 0, len(n.Children))
+		for _, ch := range n.Children {
+			cc := ch.Clone()
+			cc.Parent = c
+			c.Children = append(c.Children, cc)
+		}
+	}
+	return c
+}
+
+// Size returns the number of nodes in the subtree rooted at n,
+// including n itself. Attributes are not counted as nodes, matching the
+// paper's model where attributes are properties of their element.
+func (n *Node) Size() int {
+	size := 1
+	for _, c := range n.Children {
+		size += c.Size()
+	}
+	return size
+}
+
+// TextContent concatenates all text-node values in document order
+// below (and including) n.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Type == Text {
+		b.WriteString(n.Value)
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// Path returns a simple absolute location path for n, of the form
+// /Category/Product[2]/Name. Sibling indexes (1-based, counted among
+// same-label siblings) are included only when needed to disambiguate.
+// Text nodes render as text().
+func (n *Node) Path() string {
+	if n == nil {
+		return ""
+	}
+	if n.Type == Document {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur != nil && cur.Type != Document; cur = cur.Parent {
+		parts = append(parts, cur.step())
+	}
+	// Reverse.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+func (n *Node) step() string {
+	label := n.Name
+	switch n.Type {
+	case Text:
+		label = "text()"
+	case Comment:
+		label = "comment()"
+	case ProcInst:
+		label = "processing-instruction()"
+	}
+	if n.Parent == nil {
+		return label
+	}
+	same, pos := 0, 0
+	for _, s := range n.Parent.Children {
+		if s.Type == n.Type && s.Name == n.Name {
+			same++
+			if s == n {
+				pos = same
+			}
+		}
+	}
+	if same > 1 {
+		return fmt.Sprintf("%s[%d]", label, pos)
+	}
+	return label
+}
+
+// sortedAttrs returns the attributes sorted by name. Used by equality,
+// hashing and canonical serialization so attribute order never matters.
+func (n *Node) sortedAttrs() []Attr {
+	if len(n.Attrs) < 2 {
+		return n.Attrs
+	}
+	s := make([]Attr, len(n.Attrs))
+	copy(s, n.Attrs)
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}

@@ -1,0 +1,203 @@
+package dom
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseOptions controls how documents are parsed into trees.
+type ParseOptions struct {
+	// KeepWhitespace preserves whitespace-only text nodes. The default
+	// (false) drops them, which matches the paper's treatment of
+	// "pretty printed" XML where indentation is not data.
+	KeepWhitespace bool
+	// KeepComments preserves comment nodes (default: true via Parse;
+	// the zero value of ParseOptions drops comments to mirror the
+	// change-relevant content model, so Parse sets this explicitly).
+	KeepComments bool
+	// KeepProcInsts preserves processing instructions other than the
+	// <?xml ...?> declaration.
+	KeepProcInsts bool
+}
+
+// DefaultParseOptions are the options used by Parse: whitespace-only
+// text dropped, comments and processing instructions kept.
+func DefaultParseOptions() ParseOptions {
+	return ParseOptions{KeepComments: true, KeepProcInsts: true}
+}
+
+// Parse reads an XML document from r with DefaultParseOptions.
+func Parse(r io.Reader) (*Node, error) {
+	return ParseWithOptions(r, DefaultParseOptions())
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseFile parses the XML document stored at path.
+func ParseFile(path string) (*Node, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("dom: parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// ParseWithOptions reads an XML document from r into a Document tree.
+// The returned node always has Type Document; its children are the
+// top-level items of the document.
+func ParseWithOptions(r io.Reader, opts ParseOptions) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	// The diff operates on documents as-is; entity expansion beyond the
+	// predefined five is out of scope, but strictness stays on so that
+	// malformed input is reported rather than silently truncated.
+	doc := NewDocument()
+	cur := doc
+	var sawElement bool
+	// Namespace handling is lexical: encoding/xml resolves prefixes to
+	// URIs, but a URI is not a legal XML name, so serialized output
+	// would not reparse. We track prefix declarations ourselves and
+	// keep names in their prefix:local source form; the xmlns
+	// attributes stay in the tree, so output round-trips.
+	ns := nsStack{}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dom: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			ns.push(t.Attr)
+			el := NewElement(ns.elemName(t.Name))
+			if len(t.Attr) > 0 {
+				el.Attrs = make([]Attr, 0, len(t.Attr))
+				for _, a := range t.Attr {
+					el.Attrs = append(el.Attrs, Attr{Name: ns.attrName(a.Name), Value: a.Value})
+				}
+			}
+			cur.Append(el)
+			cur = el
+			sawElement = true
+		case xml.EndElement:
+			ns.pop()
+			if cur == doc {
+				return nil, fmt.Errorf("dom: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			s := string(t)
+			if !opts.KeepWhitespace && strings.TrimSpace(s) == "" {
+				continue
+			}
+			// Merge adjacent character data (CDATA boundaries etc.) so
+			// the tree never holds two neighbouring text nodes; the
+			// change simulator relies on this invariant.
+			if k := len(cur.Children); k > 0 && cur.Children[k-1].Type == Text {
+				cur.Children[k-1].Value += s
+				continue
+			}
+			cur.Append(NewText(s))
+		case xml.Comment:
+			if opts.KeepComments {
+				cur.Append(&Node{Type: Comment, Value: string(t)})
+			}
+		case xml.ProcInst:
+			if opts.KeepProcInsts && t.Target != "xml" {
+				cur.Append(&Node{Type: ProcInst, Name: t.Target, Value: string(t.Inst)})
+			}
+		case xml.Directive:
+			// Retain the DOCTYPE text on the document node so that the
+			// diff can hand it to package dtd for ID-attribute
+			// discovery. Other directives are not part of the model.
+			if d := string(t); strings.HasPrefix(d, "DOCTYPE") {
+				doc.Doctype = d
+			}
+		}
+	}
+	if cur != doc {
+		return nil, fmt.Errorf("dom: unexpected EOF inside element %s", cur.Name)
+	}
+	if !sawElement {
+		return nil, fmt.Errorf("dom: document has no root element")
+	}
+	return doc, nil
+}
+
+// nsStack reconstructs the lexical prefix of namespaced names: one
+// frame per open element, mapping namespace URI -> declared prefix.
+type nsStack struct {
+	frames []map[string]string
+}
+
+func (s *nsStack) push(attrs []xml.Attr) {
+	var frame map[string]string
+	for _, a := range attrs {
+		if a.Name.Space == "xmlns" { // xmlns:prefix="uri"
+			if frame == nil {
+				frame = make(map[string]string, 2)
+			}
+			frame[a.Value] = a.Name.Local
+		}
+	}
+	s.frames = append(s.frames, frame)
+}
+
+func (s *nsStack) pop() {
+	if len(s.frames) > 0 {
+		s.frames = s.frames[:len(s.frames)-1]
+	}
+}
+
+// prefix returns the innermost prefix declared for the URI ("" when the
+// URI is the default namespace or undeclared).
+func (s *nsStack) prefix(uri string) string {
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		if p, ok := s.frames[i][uri]; ok {
+			return p
+		}
+	}
+	return ""
+}
+
+// elemName renders an element name in its lexical form. A name whose
+// URI has no declared prefix belongs to the default namespace: the
+// local name alone reproduces the source.
+func (s *nsStack) elemName(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	if p := s.prefix(n.Space); p != "" {
+		return p + ":" + n.Local
+	}
+	return n.Local
+}
+
+// attrName renders an attribute name. Go reports xmlns declarations
+// with Space "xmlns" (prefixed) or Local "xmlns" (default); other
+// attributes carry the resolved URI like elements do.
+func (s *nsStack) attrName(n xml.Name) string {
+	switch {
+	case n.Space == "":
+		return n.Local
+	case n.Space == "xmlns":
+		return "xmlns:" + n.Local
+	default:
+		if p := s.prefix(n.Space); p != "" {
+			return p + ":" + n.Local
+		}
+		return n.Local
+	}
+}

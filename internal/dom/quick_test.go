@@ -1,0 +1,117 @@
+package dom
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// RandomTree adapts random document generation to testing/quick via the
+// quick.Generator interface.
+type RandomTree struct {
+	Doc *Node
+}
+
+// Generate implements quick.Generator: a random well-formed document of
+// bounded size.
+func (RandomTree) Generate(r *rand.Rand, size int) reflect.Value {
+	if size > 50 {
+		size = 50
+	}
+	doc := NewDocument()
+	root := NewElement("r")
+	doc.Append(root)
+	elems := []*Node{root}
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < r.Intn(size+1); i++ {
+		p := elems[r.Intn(len(elems))]
+		switch r.Intn(5) {
+		case 0: // text, avoiding adjacency
+			if k := len(p.Children); k == 0 || p.Children[k-1].Type != Text {
+				p.Append(NewText(fmt.Sprintf("t%d", r.Intn(100))))
+			}
+		case 1: // comment
+			p.Append(&Node{Type: Comment, Value: fmt.Sprintf("c%d", r.Intn(10))})
+		case 2: // attribute on an existing element
+			p.SetAttribute(labels[r.Intn(len(labels))], fmt.Sprintf("%d", r.Intn(10)))
+		default:
+			el := NewElement(labels[r.Intn(len(labels))])
+			p.Append(el)
+			elems = append(elems, el)
+		}
+	}
+	return reflect.ValueOf(RandomTree{Doc: doc})
+}
+
+func TestQuickSerializeParseRoundTrip(t *testing.T) {
+	f := func(rt RandomTree) bool {
+		out := rt.Doc.String()
+		re, err := ParseString(out)
+		if err != nil {
+			return false
+		}
+		return Equal(rt.Doc, re)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqualAndIndependent(t *testing.T) {
+	f := func(rt RandomTree) bool {
+		c := rt.Doc.Clone()
+		if !Equal(rt.Doc, c) {
+			return false
+		}
+		// Parent pointers in the clone must be internally consistent.
+		ok := true
+		WalkPre(c, func(n *Node) bool {
+			for _, ch := range n.Children {
+				if ch.Parent != n {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTraversalInvariants(t *testing.T) {
+	f := func(rt RandomTree) bool {
+		size := rt.Doc.Size()
+		post := Postorder(rt.Doc)
+		pre := Preorder(rt.Doc)
+		if len(post) != size || len(pre) != size {
+			return false
+		}
+		// Post-order ends at the root; pre-order starts there.
+		return post[size-1] == rt.Doc && pre[0] == rt.Doc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDetachInsertInverse(t *testing.T) {
+	f := func(rt RandomTree, pick uint16) bool {
+		nodes := Preorder(rt.Doc)
+		n := nodes[int(pick)%len(nodes)]
+		if n.Parent == nil {
+			return true
+		}
+		before := rt.Doc.String()
+		parent := n.Parent
+		idx := n.Detach()
+		parent.InsertAt(idx, n)
+		return rt.Doc.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package dom
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteTo serializes the subtree rooted at n as XML to w. The output is
+// canonical in the sense that attributes are emitted sorted by name and
+// no insignificant whitespace is added, so two Equal trees serialize to
+// identical bytes.
+func (n *Node) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	writeNode(cw, n)
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// String serializes the subtree rooted at n as XML.
+func (n *Node) String() string {
+	var b strings.Builder
+	cw := &countWriter{w: &b}
+	writeNode(cw, n)
+	return b.String()
+}
+
+// WriteFile serializes the document to path.
+func WriteFile(path string, n *Node) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := n.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countWriter) writeString(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func writeNode(cw *countWriter, n *Node) {
+	switch n.Type {
+	case Document:
+		for _, c := range n.Children {
+			writeNode(cw, c)
+		}
+	case Element:
+		cw.writeString("<")
+		cw.writeString(n.Name)
+		for _, a := range n.sortedAttrs() {
+			cw.writeString(" ")
+			cw.writeString(a.Name)
+			cw.writeString(`="`)
+			cw.writeString(escapeAttr(a.Value))
+			cw.writeString(`"`)
+		}
+		if len(n.Children) == 0 {
+			cw.writeString("/>")
+			return
+		}
+		cw.writeString(">")
+		for _, c := range n.Children {
+			writeNode(cw, c)
+		}
+		cw.writeString("</")
+		cw.writeString(n.Name)
+		cw.writeString(">")
+	case Text:
+		cw.writeString(escapeText(n.Value))
+	case Comment:
+		cw.writeString("<!--")
+		cw.writeString(n.Value)
+		cw.writeString("-->")
+	case ProcInst:
+		cw.writeString("<?")
+		cw.writeString(n.Name)
+		if n.Value != "" {
+			cw.writeString(" ")
+			cw.writeString(n.Value)
+		}
+		cw.writeString("?>")
+	}
+}
+
+// escapeText escapes character data for element content.
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeAttr escapes an attribute value for a double-quoted attribute.
+func escapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<>\"\n\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+// Package dtd implements the minimal DTD subset the diff algorithm
+// needs: discovering which attributes are declared with type ID
+// (Phase 1 of the BULD algorithm matches nodes on ID attribute values).
+//
+// The parser understands internal DTD subsets of the form
+//
+//	<!DOCTYPE catalog [
+//	    <!ELEMENT product (name, price)>
+//	    <!ATTLIST product pid ID #REQUIRED>
+//	]>
+//
+// ELEMENT, ENTITY and NOTATION declarations are tolerated and skipped;
+// only ATTLIST declarations contribute information.
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// IDAttrs maps an element name to the name of its ID-typed attribute.
+// XML allows at most one ID attribute per element type.
+type IDAttrs map[string]string
+
+// Lookup returns the ID attribute declared for the element, if any.
+func (ia IDAttrs) Lookup(element string) (string, bool) {
+	attr, ok := ia[element]
+	return attr, ok
+}
+
+// ParseDoctype extracts ID attribute declarations from the body of a
+// <!DOCTYPE ...> directive (the text between "<!" and ">", as Go's
+// encoding/xml delivers an xml.Directive). Documents without an
+// internal subset yield an empty, non-nil map.
+func ParseDoctype(directive string) (IDAttrs, error) {
+	ids := IDAttrs{}
+	open := strings.IndexByte(directive, '[')
+	if open < 0 {
+		return ids, nil // external subset or bare DOCTYPE: nothing to scan
+	}
+	close := strings.LastIndexByte(directive, ']')
+	if close < open {
+		return nil, fmt.Errorf("dtd: unterminated internal subset")
+	}
+	return parseSubset(directive[open+1 : close])
+}
+
+// parseSubset scans the internal subset for ATTLIST declarations.
+func parseSubset(s string) (IDAttrs, error) {
+	ids := IDAttrs{}
+	for i := 0; i < len(s); {
+		if s[i] != '<' {
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("dtd: unterminated declaration near %q", clip(s[i:]))
+		}
+		decl := s[i : i+end+1]
+		i += end + 1
+		if strings.HasPrefix(decl, "<!ATTLIST") {
+			if err := parseAttlist(decl, ids); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ids, nil
+}
+
+// parseAttlist handles one <!ATTLIST elem attr TYPE default ...>
+// declaration, possibly declaring several attributes.
+func parseAttlist(decl string, ids IDAttrs) error {
+	body := strings.TrimSuffix(strings.TrimPrefix(decl, "<!ATTLIST"), ">")
+	fields := tokenize(body)
+	if len(fields) < 1 {
+		return fmt.Errorf("dtd: empty ATTLIST")
+	}
+	element := fields[0]
+	rest := fields[1:]
+	// Attributes come in (name, type, default[, value]) groups; the
+	// default may be #REQUIRED/#IMPLIED/#FIXED "v"/"v".
+	for i := 0; i+1 < len(rest); {
+		name, typ := rest[i], rest[i+1]
+		i += 2
+		// Skip enumerated types "(a|b|c)" — tokenize keeps them whole.
+		if strings.EqualFold(typ, "ID") {
+			if prev, dup := ids[element]; dup && prev != name {
+				return fmt.Errorf("dtd: element %s declares two ID attributes (%s, %s)", element, prev, name)
+			}
+			ids[element] = name
+		}
+		// Consume the default declaration.
+		if i < len(rest) {
+			switch {
+			case rest[i] == "#REQUIRED" || rest[i] == "#IMPLIED":
+				i++
+			case rest[i] == "#FIXED":
+				i += 2 // #FIXED "value"
+			case isQuoted(rest[i]):
+				i++
+			}
+		}
+	}
+	return nil
+}
+
+// tokenize splits a declaration body into fields, keeping quoted
+// strings and parenthesized enumerations as single tokens.
+func tokenize(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		r := rune(s[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '"' || r == '\'':
+			q := s[i]
+			j := i + 1
+			for j < len(s) && s[j] != q {
+				j++
+			}
+			if j < len(s) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		case r == '(':
+			depth := 0
+			j := i
+			for ; j < len(s); j++ {
+				if s[j] == '(' {
+					depth++
+				} else if s[j] == ')' {
+					depth--
+					if depth == 0 {
+						j++
+						break
+					}
+				}
+			}
+			out = append(out, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && !unicode.IsSpace(rune(s[j])) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		}
+	}
+	return out
+}
+
+func isQuoted(s string) bool {
+	return len(s) >= 2 && (s[0] == '"' || s[0] == '\'')
+}
+
+func clip(s string) string {
+	if len(s) > 30 {
+		return s[:30] + "..."
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package htmlize
+
+import (
+	"testing"
+
+	"xydiff/internal/dom"
+)
+
+// FuzzParse: any input yields a well-formed XML document.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<html><body><p>hi</body></html>`,
+		`<ul><li>a<li>b</ul>`,
+		`<p<a href='x'>--> =" <br>`,
+		`<script>a<b</script>`,
+		`<!--- nested -- comment --->`,
+		"<a \x00\x0f attr=\x01>",
+		`<table><tr><td>1<td>2`,
+		`text & more <<< text`,
+		`<div id=x id=y>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc == nil {
+			t.Fatal("nil document")
+		}
+		out := doc.String()
+		if _, err := dom.ParseString(out); err != nil {
+			t.Fatalf("output not well-formed: %v\nsource: %q\noutput: %q", err, src, out)
+		}
+	})
+}

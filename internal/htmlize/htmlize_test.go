@@ -1,0 +1,254 @@
+package htmlize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+// xmlize parses HTML and asserts the result survives an XML round trip
+// (i.e., is genuinely well-formed).
+func xmlize(t *testing.T, html string) *dom.Node {
+	t.Helper()
+	doc := Parse(html)
+	out := doc.String()
+	re, err := dom.ParseString(out)
+	if err != nil {
+		t.Fatalf("XMLized output is not well-formed: %v\n%s", err, out)
+	}
+	if !dom.Equal(doc, re) {
+		t.Fatalf("XMLized output changed on reparse: %s", dom.Diagnose(doc, re))
+	}
+	return doc
+}
+
+func TestWellFormedHTMLPassesThrough(t *testing.T) {
+	doc := xmlize(t, `<html><body><p>hello <b>world</b></p></body></html>`)
+	if got := doc.Root().Name; got != "html" {
+		t.Errorf("root = %q", got)
+	}
+	b := dom.Select(doc.Root(), "body/p/b")
+	if len(b) != 1 || b[0].TextContent() != "world" {
+		t.Errorf("nested structure lost: %s", doc)
+	}
+}
+
+func TestUnclosedTagsAreClosed(t *testing.T) {
+	doc := xmlize(t, `<html><body><p>one<p>two<p>three</body></html>`)
+	ps := dom.Select(doc.Root(), "body/p")
+	if len(ps) != 3 {
+		t.Fatalf("got %d <p>, want 3 siblings (auto-closed): %s", len(ps), doc)
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := ps[i].TextContent(); got != want {
+			t.Errorf("p[%d] = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestListItemsAutoClose(t *testing.T) {
+	doc := xmlize(t, `<ul><li>a<li>b<li>c</ul>`)
+	lis := dom.Select(doc.Root(), "li")
+	if len(lis) != 3 {
+		t.Fatalf("got %d <li>, want 3: %s", len(lis), doc)
+	}
+}
+
+func TestTableCellsAutoClose(t *testing.T) {
+	doc := xmlize(t, `<table><tr><td>1<td>2<tr><td>3</table>`)
+	rows := dom.Select(doc.Root(), "tr")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d: %s", len(rows), doc)
+	}
+	if cells := dom.Select(rows[0], "td"); len(cells) != 2 {
+		t.Errorf("row 1 cells = %d", len(cells))
+	}
+}
+
+func TestVoidElements(t *testing.T) {
+	doc := xmlize(t, `<p>a<br>b<img src="x.png">c<hr></p>`)
+	if n := len(dom.Select(doc.Root(), "br")); n != 1 {
+		t.Errorf("br count = %d", n)
+	}
+	img := dom.Select(doc.Root(), "img")
+	if len(img) != 1 {
+		t.Fatalf("img missing: %s", doc)
+	}
+	if v, _ := img[0].Attribute("src"); v != "x.png" {
+		t.Errorf("img src = %q", v)
+	}
+	if len(img[0].Children) != 0 {
+		t.Error("void element has children")
+	}
+}
+
+func TestAttributeForms(t *testing.T) {
+	doc := xmlize(t, `<input type=text VALUE='a b' checked data-x="1&amp;2">`)
+	inputs := dom.Select(doc, "input")
+	if len(inputs) != 1 {
+		t.Fatalf("input element missing: %s", doc)
+	}
+	in := inputs[0]
+	if v, _ := in.Attribute("type"); v != "text" {
+		t.Errorf("unquoted attr = %q", v)
+	}
+	if v, _ := in.Attribute("value"); v != "a b" {
+		t.Errorf("single-quoted attr = %q (names lowercased)", v)
+	}
+	if v, _ := in.Attribute("checked"); v != "checked" {
+		t.Errorf("bare attr = %q", v)
+	}
+	if v, _ := in.Attribute("data-x"); v != "1&2" {
+		t.Errorf("entity in attr = %q", v)
+	}
+}
+
+func TestDuplicateAttributeLastWins(t *testing.T) {
+	doc := xmlize(t, `<a href="first" href="second">x</a>`)
+	a := dom.Select(doc.Root(), "a")
+	if len(a) == 0 {
+		a = []*dom.Node{doc.Root()}
+	}
+	if v, _ := a[0].Attribute("href"); v != "second" {
+		t.Errorf("href = %q", v)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	doc := xmlize(t, `<p>a &amp; b &lt;c&gt; &#65;&#x42; &nbsp;&unknown; &broken</p>`)
+	got := doc.Root().TextContent()
+	if !strings.Contains(got, "a & b <c> AB") {
+		t.Errorf("entities decoded to %q", got)
+	}
+	if !strings.Contains(got, "&unknown;") || !strings.Contains(got, "&broken") {
+		t.Errorf("unknown entities should stay literal: %q", got)
+	}
+}
+
+func TestScriptAndStyleRawText(t *testing.T) {
+	doc := xmlize(t, `<html><script>if (a < b && c > d) { x("</p>"); }</script><p>after</p></html>`)
+	scripts := dom.Select(doc.Root(), "script")
+	if len(scripts) != 1 {
+		t.Fatalf("script missing: %s", doc)
+	}
+	if !strings.Contains(scripts[0].TextContent(), "a < b && c > d") {
+		t.Errorf("script body mangled: %q", scripts[0].TextContent())
+	}
+	if len(dom.Select(doc.Root(), "p")) != 1 {
+		t.Error("content after script lost")
+	}
+}
+
+func TestStrayEndTagsDropped(t *testing.T) {
+	doc := xmlize(t, `<div></p></span><b>ok</b></div>`)
+	if got := doc.Root().TextContent(); got != "ok" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestCommentsAndDoctype(t *testing.T) {
+	doc := xmlize(t, `<!DOCTYPE html><!-- head --><html><body>x</body></html>`)
+	if doc.Root().Name != "html" {
+		t.Errorf("root = %q", doc.Root().Name)
+	}
+}
+
+func TestFragmentGetsSyntheticRoot(t *testing.T) {
+	doc := xmlize(t, `just text, no markup`)
+	if doc.Root() == nil || doc.Root().Name != "html" {
+		t.Fatalf("fragment root = %v", doc.Root())
+	}
+	if doc.Root().TextContent() != "just text, no markup" {
+		t.Errorf("content = %q", doc.Root().TextContent())
+	}
+}
+
+func TestBlockClosesParagraph(t *testing.T) {
+	doc := xmlize(t, `<body><p>intro<div>block</div></body>`)
+	ps := dom.Select(doc.Root(), "p")
+	divs := dom.Select(doc.Root(), "div")
+	if len(ps) != 1 || len(divs) != 1 {
+		t.Fatalf("structure: %s", doc)
+	}
+	if len(dom.Select(ps[0], "div")) != 0 {
+		t.Error("div should be a sibling of p, not a child")
+	}
+}
+
+func TestMalformedNeverPanics(t *testing.T) {
+	cases := []string{
+		"", "<", "<>", "</", "<a", "<a href=", `<a href="unterminated`,
+		"<!--unterminated", "<!doctype", "<a/></a></a>", "< notatag",
+		"<a b c d>", "<script>never closed", strings.Repeat("<div>", 100),
+	}
+	for _, c := range cases {
+		doc := Parse(c)
+		if doc == nil {
+			t.Fatalf("Parse(%q) = nil", c)
+		}
+		if _, err := dom.ParseString(doc.String()); err != nil {
+			t.Errorf("Parse(%q) output not well-formed: %v", c, err)
+		}
+	}
+}
+
+func TestDiffTwoHTMLVersions(t *testing.T) {
+	// The paper's use case: XMLize two HTML page versions and diff them.
+	v1 := Parse(`<html><body><h1>News</h1><ul><li>story one<li>story two</ul></body></html>`)
+	v2 := Parse(`<html><body><h1>News</h1><ul><li>story two<li>story three</ul></body></html>`)
+	d, err := diff.Diff(v1, v2, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := delta.ApplyClone(v1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(got, v2) {
+		t.Fatalf("HTML diff round trip failed: %s", dom.Diagnose(got, v2))
+	}
+	if d.Empty() {
+		t.Error("expected changes between page versions")
+	}
+}
+
+func TestQuickNeverPanicsAlwaysWellFormed(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 300 {
+			s = s[:300]
+		}
+		doc := Parse(s)
+		if doc == nil {
+			return false
+		}
+		_, err := dom.ParseString(doc.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHTMLishInputs(t *testing.T) {
+	// Bias the generator toward markup-looking strings.
+	pieces := []string{"<div>", "</div>", "<p", ">", "text", "<br>", "&amp;",
+		"<a href='x'>", "=\"v\"", "<!--", "-->", "<li>", "</ul>", "<script>", "x<y"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < rng.Intn(30); i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		doc := Parse(b.String())
+		_, err := dom.ParseString(doc.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

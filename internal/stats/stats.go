@@ -1,0 +1,210 @@
+// Package stats gathers change statistics over delta streams — the
+// measurement program of the paper's conclusion ("gather statistics on
+// change frequency, patterns of changes in a document, in a web site")
+// and the learning hook of Section 5.2: the schema "is an excellent
+// structure to record statistical information ... e.g. learn that a
+// price node is more likely to change than a description node."
+//
+// A Collector observes (oldDoc, newDoc, delta) triples — typically at
+// store.Put time — and accumulates per-element-label change frequencies
+// and per-version delta size ratios.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+)
+
+// LabelStats accumulates change counts for one element label.
+type LabelStats struct {
+	Label       string
+	Occurrences int // element instances seen across observed versions
+	Updates     int // value updates under the element (direct text)
+	Inserts     int // subtrees of this label inserted
+	Deletes     int // subtrees of this label deleted
+	Moves       int
+	AttrChanges int
+}
+
+// Changes totals all change kinds.
+func (l LabelStats) Changes() int {
+	return l.Updates + l.Inserts + l.Deletes + l.Moves + l.AttrChanges
+}
+
+// Rate is changes per occurrence (the "likelihood to change" the paper
+// wants to learn); zero occurrences yield zero.
+func (l LabelStats) Rate() float64 {
+	if l.Occurrences == 0 {
+		return 0
+	}
+	return float64(l.Changes()) / float64(l.Occurrences)
+}
+
+// Collector accumulates statistics; safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	labels    map[string]*LabelStats
+	versions  int
+	ops       delta.Counts
+	deltaSize int64
+	docSize   int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{labels: make(map[string]*LabelStats)}
+}
+
+// Observe records one version transition. oldDoc is the version the
+// delta applies to and newDoc its result; XIDs must be consistent with
+// the delta (as produced by diff.Diff or store.Put).
+func (c *Collector) Observe(oldDoc, newDoc *dom.Node, d *delta.Delta) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions++
+	// Occurrences: count elements of the new version (the population at
+	// risk for the next change).
+	dom.WalkPre(newDoc, func(n *dom.Node) bool {
+		if n.Type == dom.Element {
+			c.label(n.Name).Occurrences++
+		}
+		return true
+	})
+	if d.Empty() {
+		return
+	}
+	cnt := d.Count()
+	c.ops.Inserts += cnt.Inserts
+	c.ops.Deletes += cnt.Deletes
+	c.ops.Updates += cnt.Updates
+	c.ops.Moves += cnt.Moves
+	c.ops.AttrOps += cnt.AttrOps
+	c.deltaSize += int64(d.Size())
+	c.docSize += int64(len(newDoc.String()))
+
+	oldIdx := indexXIDs(oldDoc)
+	newIdx := indexXIDs(newDoc)
+	labelOf := func(xid int64, preferOld bool) string {
+		var n *dom.Node
+		if preferOld {
+			n = oldIdx[xid]
+			if n == nil {
+				n = newIdx[xid]
+			}
+		} else {
+			n = newIdx[xid]
+			if n == nil {
+				n = oldIdx[xid]
+			}
+		}
+		if n == nil {
+			return ""
+		}
+		if n.Type != dom.Element && n.Parent != nil {
+			n = n.Parent // attribute updates to text map to the element
+		}
+		if n.Type != dom.Element {
+			return ""
+		}
+		return n.Name
+	}
+	for _, op := range d.Ops {
+		var label string
+		switch op.Kind() {
+		case delta.KindDelete:
+			label = labelOf(op.TargetXID(), true)
+		default:
+			label = labelOf(op.TargetXID(), false)
+		}
+		if label == "" {
+			continue
+		}
+		ls := c.label(label)
+		switch op.Kind() {
+		case delta.KindUpdate:
+			ls.Updates++
+		case delta.KindInsert:
+			ls.Inserts++
+		case delta.KindDelete:
+			ls.Deletes++
+		case delta.KindMove:
+			ls.Moves++
+		default:
+			ls.AttrChanges++
+		}
+	}
+}
+
+func (c *Collector) label(name string) *LabelStats {
+	ls := c.labels[name]
+	if ls == nil {
+		ls = &LabelStats{Label: name}
+		c.labels[name] = ls
+	}
+	return ls
+}
+
+// Report is a snapshot of the accumulated statistics.
+type Report struct {
+	Versions  int
+	Ops       delta.Counts
+	DeltaSize int64 // total bytes of observed deltas
+	DocSize   int64 // total bytes of observed (new) versions
+	// Labels sorted by descending change rate, then by label.
+	Labels []LabelStats
+}
+
+// DeltaRatio is total delta bytes over total document bytes — the
+// paper's "delta size is usually less than the size of one version".
+func (r Report) DeltaRatio() float64 {
+	if r.DocSize == 0 {
+		return 0
+	}
+	return float64(r.DeltaSize) / float64(r.DocSize)
+}
+
+// Report snapshots the collector.
+func (c *Collector) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{Versions: c.versions, Ops: c.ops, DeltaSize: c.deltaSize, DocSize: c.docSize}
+	for _, ls := range c.labels {
+		r.Labels = append(r.Labels, *ls)
+	}
+	sort.Slice(r.Labels, func(i, j int) bool {
+		ri, rj := r.Labels[i].Rate(), r.Labels[j].Rate()
+		if ri != rj {
+			return ri > rj
+		}
+		return r.Labels[i].Label < r.Labels[j].Label
+	})
+	return r
+}
+
+// WriteTable renders the per-label change-frequency table.
+func (r Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# change statistics over %d version(s): %s; delta/doc ratio %.3f\n",
+		r.Versions, r.Ops, r.DeltaRatio())
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %8s %8s %8s\n",
+		"label", "occur", "upd", "ins", "del", "mov", "attr", "rate")
+	for _, l := range r.Labels {
+		fmt.Fprintf(w, "%-16s %8d %8d %8d %8d %8d %8d %8.4f\n",
+			l.Label, l.Occurrences, l.Updates, l.Inserts, l.Deletes, l.Moves, l.AttrChanges, l.Rate())
+	}
+}
+
+func indexXIDs(doc *dom.Node) map[int64]*dom.Node {
+	idx := make(map[int64]*dom.Node)
+	dom.WalkPre(doc, func(n *dom.Node) bool {
+		if n.XID != 0 {
+			idx[n.XID] = n
+		}
+		return true
+	})
+	return idx
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+func observePair(t *testing.T, c *Collector, oldXML, newXML string) {
+	t.Helper()
+	oldDoc, err := dom.ParseString(oldXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := dom.ParseString(newXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := diff.Diff(oldDoc, newDoc, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(oldDoc, newDoc, d)
+}
+
+func TestCollectorLearnsHotLabels(t *testing.T) {
+	// Prices change, descriptions do not: the price label must come out
+	// with the higher change rate — the paper's exact example.
+	c := NewCollector()
+	observePair(t, c,
+		`<cat><p><price>1</price><desc>stable</desc></p><p><price>2</price><desc>stable too</desc></p></cat>`,
+		`<cat><p><price>9</price><desc>stable</desc></p><p><price>8</price><desc>stable too</desc></p></cat>`)
+	r := c.Report()
+	if r.Versions != 1 {
+		t.Fatalf("versions = %d", r.Versions)
+	}
+	rates := map[string]float64{}
+	for _, l := range r.Labels {
+		rates[l.Label] = l.Rate()
+	}
+	if rates["price"] <= rates["desc"] {
+		t.Errorf("price rate %f should exceed desc rate %f", rates["price"], rates["desc"])
+	}
+	if r.Labels[0].Label != "price" {
+		t.Errorf("hottest label = %q", r.Labels[0].Label)
+	}
+}
+
+func TestCollectorCountsKinds(t *testing.T) {
+	c := NewCollector()
+	observePair(t, c,
+		`<r><a>1</a><b/><mv/><x at="1"/></r>`,
+		`<r><a>2</a><new/><deep><mv/></deep><x at="2"/></r>`)
+	r := c.Report()
+	if r.Ops.Updates == 0 || r.Ops.Inserts == 0 || r.Ops.Deletes == 0 {
+		t.Errorf("ops = %v", r.Ops)
+	}
+	if r.Ops.AttrOps != 1 {
+		t.Errorf("attr ops = %d", r.Ops.AttrOps)
+	}
+	if r.DeltaRatio() <= 0 {
+		t.Errorf("delta ratio = %f", r.DeltaRatio())
+	}
+	var b strings.Builder
+	r.WriteTable(&b)
+	if !strings.Contains(b.String(), "label") || !strings.Contains(b.String(), "rate") {
+		t.Errorf("table missing header:\n%s", b.String())
+	}
+}
+
+func TestCollectorEmptyDelta(t *testing.T) {
+	c := NewCollector()
+	observePair(t, c, `<r><a>1</a></r>`, `<r><a>1</a></r>`)
+	r := c.Report()
+	if r.Ops.Total() != 0 || r.DeltaSize != 0 {
+		t.Errorf("empty delta accumulated: %+v", r)
+	}
+	if r.Versions != 1 {
+		t.Errorf("versions = %d", r.Versions)
+	}
+	// Occurrences still counted.
+	if len(r.Labels) == 0 {
+		t.Error("labels not counted for unchanged version")
+	}
+}
+
+func TestCollectorOverSimulatedHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := NewCollector()
+	cur := changesim.Catalog(rng, 3, 10)
+	for week := 0; week < 5; week++ {
+		sim, err := changesim.Simulate(cur, changesim.Uniform(0.08, int64(week)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := diff.Diff(cur, sim.New, diff.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Observe(cur, sim.New, d)
+		cur = sim.New
+	}
+	r := c.Report()
+	if r.Versions != 5 {
+		t.Fatalf("versions = %d", r.Versions)
+	}
+	if r.Ops.Total() == 0 {
+		t.Fatal("no ops observed")
+	}
+	// The paper's observation: deltas are much smaller than documents
+	// at weekly change rates.
+	if ratio := r.DeltaRatio(); ratio <= 0 || ratio > 1.0 {
+		t.Errorf("delta/doc ratio = %f, want within (0,1]", ratio)
+	}
+	// Rates must be sane probabilities-ish (changes per occurrence can
+	// exceed 1 only for pathological labels).
+	for _, l := range r.Labels {
+		if l.Occurrences == 0 && l.Changes() == 0 {
+			t.Errorf("empty label entry %q", l.Label)
+		}
+	}
+}
+
+func TestRateZeroOccurrences(t *testing.T) {
+	l := LabelStats{Updates: 3}
+	if l.Rate() != 0 {
+		t.Error("rate without occurrences should be 0")
+	}
+}

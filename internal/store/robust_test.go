@@ -1,0 +1,137 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+// saveSample builds a two-version store on disk and returns its
+// directory and document subdirectory.
+func saveSample(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s := New(diff.Options{})
+	s.Put("doc", parse(t, `<r><a>1</a></r>`))
+	s.Put("doc", parse(t, `<r><a>2</a><b/></r>`))
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.Join(dir, "doc")
+}
+
+func TestLoadCorruptVersionCounter(t *testing.T) {
+	for _, bad := range []string{"", "zero", "-3", "0"} {
+		dir, sub := saveSample(t)
+		os.WriteFile(filepath.Join(sub, "versions"), []byte(bad), 0o644)
+		if _, err := Load(dir, diff.Options{}); err == nil {
+			t.Errorf("counter %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadMissingBaseVersion(t *testing.T) {
+	dir, sub := saveSample(t)
+	os.Remove(filepath.Join(sub, "v1.xml"))
+	if _, err := Load(dir, diff.Options{}); err == nil {
+		t.Error("missing v1.xml accepted")
+	}
+}
+
+func TestLoadMissingDelta(t *testing.T) {
+	dir, sub := saveSample(t)
+	os.Remove(filepath.Join(sub, "delta-0001.xml"))
+	if _, err := Load(dir, diff.Options{}); err == nil {
+		t.Error("missing delta accepted")
+	}
+}
+
+func TestLoadCorruptDelta(t *testing.T) {
+	dir, sub := saveSample(t)
+	os.WriteFile(filepath.Join(sub, "delta-0001.xml"), []byte("not xml at all"), 0o644)
+	if _, err := Load(dir, diff.Options{}); err == nil {
+		t.Error("corrupt delta accepted")
+	}
+}
+
+func TestLoadInapplicableDelta(t *testing.T) {
+	dir, sub := saveSample(t)
+	// A syntactically valid delta that does not apply to v1.
+	os.WriteFile(filepath.Join(sub, "delta-0001.xml"),
+		[]byte(`<delta><update xid="999"><old>x</old><new>y</new></update></delta>`), 0o644)
+	if _, err := Load(dir, diff.Options{}); err == nil {
+		t.Error("inapplicable delta accepted")
+	}
+}
+
+func TestLoadCorruptBaseDocument(t *testing.T) {
+	dir, sub := saveSample(t)
+	os.WriteFile(filepath.Join(sub, "v1.xml"), []byte(`<r><unclosed>`), 0o644)
+	if _, err := Load(dir, diff.Options{}); err == nil {
+		t.Error("corrupt base accepted")
+	}
+}
+
+func TestLoadIgnoresStrayFiles(t *testing.T) {
+	dir, _ := saveSample(t)
+	os.WriteFile(filepath.Join(dir, "README"), []byte("not a document dir"), 0o644)
+	s, err := Load(dir, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Versions("doc") != 2 {
+		t.Error("stray file broke loading")
+	}
+}
+
+func TestConcurrentPutsAndReads(t *testing.T) {
+	s := New(diff.Options{})
+	const docs = 8
+	const versions = 6
+	var wg sync.WaitGroup
+	for d := 0; d < docs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			id := string(rune('a' + d))
+			for v := 0; v < versions; v++ {
+				doc := dom.NewDocument()
+				root := dom.NewElement("r")
+				for k := 0; k <= v; k++ {
+					e := dom.NewElement("e")
+					e.Append(dom.NewText(id))
+					root.Append(e)
+				}
+				doc.Append(root)
+				if _, _, err := s.Put(id, doc); err != nil {
+					t.Errorf("put %s v%d: %v", id, v, err)
+					return
+				}
+				if _, _, err := s.Latest(id); err != nil {
+					t.Errorf("latest %s: %v", id, err)
+					return
+				}
+			}
+			// Read every version back.
+			for v := 1; v <= versions; v++ {
+				got, err := s.Version(id, v)
+				if err != nil {
+					t.Errorf("version %s %d: %v", id, v, err)
+					return
+				}
+				if n := len(got.Root().Children); n != v {
+					t.Errorf("%s v%d has %d children, want %d", id, v, n, v)
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	if got := len(s.IDs()); got != docs {
+		t.Errorf("ids = %d, want %d", got, docs)
+	}
+}

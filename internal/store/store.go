@@ -1,0 +1,309 @@
+// Package store implements the change-centric version repository the
+// diff serves in the Xyleme architecture (the paper's Figure 1 and
+// Section 2): each document is kept as its latest version plus the
+// sequence of completed deltas connecting consecutive versions. Because
+// deltas are completed (and therefore invertible), any past version can
+// be reconstructed from the latest one, and "queries about the past"
+// are queries over the stored delta documents.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/xid"
+)
+
+// Store is an in-memory versioned XML repository. All methods are safe
+// for concurrent use.
+type Store struct {
+	opts diff.Options
+
+	mu   sync.RWMutex
+	docs map[string]*history
+}
+
+type history struct {
+	latest   *dom.Node      // current version, XIDs assigned
+	deltas   []*delta.Delta // deltas[i] transforms version i+1 into version i+2
+	versions int
+}
+
+// New returns an empty store whose diffs run with the given options.
+func New(opts diff.Options) *Store {
+	return &Store{opts: opts, docs: make(map[string]*history)}
+}
+
+// Put installs a new version of the document identified by id and
+// returns its version number (1-based) and the delta from the previous
+// version (nil for the first). The store keeps its own copy of doc.
+func (s *Store) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
+	if doc == nil || doc.Type != dom.Document {
+		return 0, nil, fmt.Errorf("store: need a Document node")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.docs[id]
+	if h == nil {
+		first := doc.Clone()
+		xid.Assign(first)
+		s.docs[id] = &history{latest: first, versions: 1}
+		return 1, nil, nil
+	}
+	next := doc.Clone()
+	d, err := diff.Diff(h.latest, next, s.opts)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: diff %s: %w", id, err)
+	}
+	h.deltas = append(h.deltas, d)
+	h.latest = next
+	h.versions++
+	return h.versions, d, nil
+}
+
+// Latest returns a copy of the current version and its version number.
+func (s *Store) Latest(id string) (*dom.Node, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.docs[id]
+	if h == nil {
+		return nil, 0, fmt.Errorf("store: unknown document %q", id)
+	}
+	return h.latest.Clone(), h.versions, nil
+}
+
+// Versions returns how many versions of id are recorded (0 if none).
+func (s *Store) Versions(id string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if h := s.docs[id]; h != nil {
+		return h.versions
+	}
+	return 0
+}
+
+// IDs lists the stored document identifiers, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for id := range s.docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version reconstructs version n (1-based) of the document by applying
+// inverted deltas backward from the latest version — the paper's
+// "reconstruct any version of the document given another version and
+// the corresponding delta".
+func (s *Store) Version(id string, n int) (*dom.Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.docs[id]
+	if h == nil {
+		return nil, fmt.Errorf("store: unknown document %q", id)
+	}
+	if n < 1 || n > h.versions {
+		return nil, fmt.Errorf("store: %s has versions 1..%d, not %d", id, h.versions, n)
+	}
+	doc := h.latest.Clone()
+	for v := h.versions; v > n; v-- {
+		if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {
+			return nil, fmt.Errorf("store: reconstruct %s version %d: %w", id, n, err)
+		}
+	}
+	return doc, nil
+}
+
+// Delta returns the stored delta that transforms version n into n+1.
+func (s *Store) Delta(id string, n int) (*delta.Delta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.docs[id]
+	if h == nil {
+		return nil, fmt.Errorf("store: unknown document %q", id)
+	}
+	if n < 1 || n >= h.versions {
+		return nil, fmt.Errorf("store: %s has deltas 1..%d, not %d", id, h.versions-1, n)
+	}
+	return h.deltas[n-1], nil
+}
+
+// DeltasBetween returns the delta sequence transforming version from
+// into version to. When from > to, the deltas are inverted and
+// returned in reverse order, so applying them in order still works.
+func (s *Store) DeltasBetween(id string, from, to int) ([]*delta.Delta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.docs[id]
+	if h == nil {
+		return nil, fmt.Errorf("store: unknown document %q", id)
+	}
+	if from < 1 || from > h.versions || to < 1 || to > h.versions {
+		return nil, fmt.Errorf("store: version range %d..%d outside 1..%d", from, to, h.versions)
+	}
+	var out []*delta.Delta
+	switch {
+	case from < to:
+		for v := from; v < to; v++ {
+			out = append(out, h.deltas[v-1])
+		}
+	case from > to:
+		for v := from; v > to; v-- {
+			out = append(out, h.deltas[v-2].Invert())
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// File persistence. Layout, under dir/<escaped id>/:
+//
+//	latest.xml     current version
+//	versions       version counter (decimal)
+//	delta-0001.xml ... delta-(versions-1).xml
+//
+// XIDs of the latest version are rebuilt on load by replaying deltas
+// from version 1, whose XIDs are canonical post-order.
+
+// Save writes the whole store under dir.
+func (s *Store) Save(dir string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, h := range s.docs {
+		sub := filepath.Join(dir, escapeID(id))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		// Persist version 1 (canonical XIDs) plus all deltas; the
+		// latest version is recomputable, but store it too so readers
+		// can grab it without replay.
+		v1, err := s.versionLocked(h, 1)
+		if err != nil {
+			return err
+		}
+		if err := dom.WriteFile(filepath.Join(sub, "v1.xml"), v1); err != nil {
+			return err
+		}
+		if err := dom.WriteFile(filepath.Join(sub, "latest.xml"), h.latest); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(sub, "versions"), []byte(strconv.Itoa(h.versions)), 0o644); err != nil {
+			return err
+		}
+		for i, d := range h.deltas {
+			f, err := os.Create(filepath.Join(sub, deltaFile(i+1)))
+			if err != nil {
+				return err
+			}
+			if _, err := d.WriteTo(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a store previously written by Save.
+func Load(dir string, opts diff.Options) (*Store, error) {
+	s := New(opts)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := unescapeID(e.Name())
+		sub := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(filepath.Join(sub, "versions"))
+		if err != nil {
+			return nil, fmt.Errorf("store: load %s: %w", id, err)
+		}
+		versions, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if err != nil || versions < 1 {
+			return nil, fmt.Errorf("store: load %s: bad version counter %q", id, raw)
+		}
+		doc, err := dom.ParseFile(filepath.Join(sub, "v1.xml"))
+		if err != nil {
+			return nil, fmt.Errorf("store: load %s: %w", id, err)
+		}
+		xid.Assign(doc)
+		h := &history{latest: doc, versions: 1}
+		for v := 1; v < versions; v++ {
+			f, err := os.Open(filepath.Join(sub, deltaFile(v)))
+			if err != nil {
+				return nil, fmt.Errorf("store: load %s: %w", id, err)
+			}
+			d, err := delta.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("store: load %s delta %d: %w", id, v, err)
+			}
+			if err := delta.Apply(h.latest, d); err != nil {
+				return nil, fmt.Errorf("store: replay %s delta %d: %w", id, v, err)
+			}
+			h.deltas = append(h.deltas, d)
+			h.versions++
+		}
+		s.docs[id] = h
+	}
+	return s, nil
+}
+
+func (s *Store) versionLocked(h *history, n int) (*dom.Node, error) {
+	doc := h.latest.Clone()
+	for v := h.versions; v > n; v-- {
+		if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {
+			return nil, err
+		}
+	}
+	return doc, nil
+}
+
+func deltaFile(n int) string { return fmt.Sprintf("delta-%04d.xml", n) }
+
+// escapeID makes a document identifier safe as a directory name.
+func escapeID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "_%02x", c)
+		}
+	}
+	return b.String()
+}
+
+func unescapeID(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '_' && i+2 < len(s) {
+			if v, err := strconv.ParseUint(s[i+1:i+3], 16, 8); err == nil {
+				b.WriteByte(byte(v))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+func parse(t *testing.T, s string) *dom.Node {
+	t.Helper()
+	d, err := dom.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPutAndLatest(t *testing.T) {
+	s := New(diff.Options{})
+	v, d, err := s.Put("doc", parse(t, `<a><b>1</b></a>`))
+	if err != nil || v != 1 || d != nil {
+		t.Fatalf("first Put = %d,%v,%v", v, d, err)
+	}
+	v, d, err = s.Put("doc", parse(t, `<a><b>2</b></a>`))
+	if err != nil || v != 2 {
+		t.Fatalf("second Put = %d,%v", v, err)
+	}
+	if d == nil || d.Count().Updates != 1 {
+		t.Fatalf("second delta = %v", d)
+	}
+	latest, n, err := s.Latest("doc")
+	if err != nil || n != 2 {
+		t.Fatalf("Latest = %d,%v", n, err)
+	}
+	if latest.Root().Children[0].Children[0].Value != "2" {
+		t.Fatal("Latest content wrong")
+	}
+	if s.Versions("doc") != 2 || s.Versions("nope") != 0 {
+		t.Fatal("Versions wrong")
+	}
+	if ids := s.IDs(); len(ids) != 1 || ids[0] != "doc" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestQueryThePast(t *testing.T) {
+	s := New(diff.Options{})
+	texts := []string{
+		`<log><e>one</e></log>`,
+		`<log><e>one</e><e>two</e></log>`,
+		`<log><e>two</e><e>three</e></log>`,
+		`<log><e>three</e></log>`,
+	}
+	for _, x := range texts {
+		if _, _, err := s.Put("log", parse(t, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, x := range texts {
+		got, err := s.Version("log", i+1)
+		if err != nil {
+			t.Fatalf("Version(%d): %v", i+1, err)
+		}
+		want := parse(t, x)
+		if !dom.Equal(got, want) {
+			t.Fatalf("Version(%d) differs: %s", i+1, dom.Diagnose(got, want))
+		}
+	}
+	if _, err := s.Version("log", 0); err == nil {
+		t.Error("Version(0) accepted")
+	}
+	if _, err := s.Version("log", 5); err == nil {
+		t.Error("Version(5) accepted")
+	}
+	if _, err := s.Version("ghost", 1); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestDeltaAccessors(t *testing.T) {
+	s := New(diff.Options{})
+	s.Put("d", parse(t, `<a><x>1</x></a>`))
+	s.Put("d", parse(t, `<a><x>2</x></a>`))
+	s.Put("d", parse(t, `<a><x>3</x></a>`))
+	d, err := s.Delta("d", 1)
+	if err != nil || d.Count().Updates != 1 {
+		t.Fatalf("Delta(1) = %v, %v", d, err)
+	}
+	if _, err := s.Delta("d", 3); err == nil {
+		t.Error("Delta(3) should not exist with 3 versions")
+	}
+	fwd, err := s.DeltasBetween("d", 1, 3)
+	if err != nil || len(fwd) != 2 {
+		t.Fatalf("DeltasBetween(1,3) = %d,%v", len(fwd), err)
+	}
+	bwd, err := s.DeltasBetween("d", 3, 1)
+	if err != nil || len(bwd) != 2 {
+		t.Fatalf("DeltasBetween(3,1) = %d,%v", len(bwd), err)
+	}
+	same, err := s.DeltasBetween("d", 2, 2)
+	if err != nil || len(same) != 0 {
+		t.Fatalf("DeltasBetween(2,2) = %d,%v", len(same), err)
+	}
+	// Applying the backward chain to v3 must give v1.
+	v3, _ := s.Version("d", 3)
+	for _, bd := range bwd {
+		if err := delta.Apply(v3, bd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1, _ := s.Version("d", 1)
+	if !dom.Equal(v3, v1) {
+		t.Fatalf("backward chain: %s", dom.Diagnose(v3, v1))
+	}
+}
+
+func TestPutRejectsNonDocument(t *testing.T) {
+	s := New(diff.Options{})
+	if _, _, err := s.Put("x", dom.NewElement("a")); err == nil {
+		t.Error("element accepted")
+	}
+	if _, _, err := s.Put("x", nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestPutDoesNotAliasCallerDocument(t *testing.T) {
+	s := New(diff.Options{})
+	doc := parse(t, `<a><b>1</b></a>`)
+	s.Put("d", doc)
+	doc.Root().Children[0].Children[0].Value = "mutated"
+	latest, _, _ := s.Latest("d")
+	if latest.Root().Children[0].Children[0].Value != "1" {
+		t.Fatal("store aliased caller's document")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := New(diff.Options{})
+	rng := rand.New(rand.NewSource(31))
+	doc := changesim.Catalog(rng, 2, 4)
+	s.Put("catalog/main", doc)
+	cur := doc
+	for i := 0; i < 4; i++ {
+		res, err := changesim.Simulate(cur, changesim.Uniform(0.1, int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Put("catalog/main", res.New); err != nil {
+			t.Fatal(err)
+		}
+		cur = res.New
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions("catalog/main") != 5 {
+		t.Fatalf("loaded versions = %d, want 5", loaded.Versions("catalog/main"))
+	}
+	for v := 1; v <= 5; v++ {
+		want, err := s.Version("catalog/main", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Version("catalog/main", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dom.Equal(got, want) {
+			t.Fatalf("loaded version %d differs: %s", v, dom.Diagnose(got, want))
+		}
+	}
+	// The loaded store must keep working: install another version.
+	res, err := changesim.Simulate(cur, changesim.Uniform(0.1, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loaded.Put("catalog/main", res.New); err != nil {
+		t.Fatalf("Put after Load: %v", err)
+	}
+	got, err := loaded.Version("catalog/main", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom.Equal(got, res.New) {
+		t.Fatal("version 6 after load wrong")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope"), diff.Options{}); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+func TestEscapeID(t *testing.T) {
+	for _, id := range []string{"plain", "with/slash", "dots.and-dash", "spaces here", "UPPER", "a_b"} {
+		if got := unescapeID(escapeID(id)); got != id {
+			t.Errorf("escape round trip %q -> %q", id, got)
+		}
+	}
+	if escapeID("a/b") == "a/b" {
+		t.Error("slash must be escaped")
+	}
+}

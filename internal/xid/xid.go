@@ -1,0 +1,231 @@
+// Package xid implements persistent node identification for XML
+// versioning, following the change model of Marian et al. (VLDB 2001)
+// that the paper builds on (its Section 4).
+//
+// Every node of the first version of a document is given a unique
+// identifier, its XID, assigned in postfix (post-order) position. When
+// a new version arrives, the diff's matching transfers XIDs from old
+// nodes to their matches; unmatched (inserted) nodes draw fresh XIDs
+// from a monotone allocator. An XID-map is the compact string attached
+// to a subtree that lists the XIDs of its nodes in post-order, e.g.
+// "(3-7)" or "(1-2;5;9-10)".
+package xid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xydiff/internal/dom"
+)
+
+// Assign gives every node of the document fresh XIDs in post-order,
+// starting at 1, and returns the allocator positioned after the last
+// assigned identifier. It is the initialization step for version 1 of
+// a document.
+func Assign(doc *dom.Node) *Allocator {
+	next := int64(1)
+	dom.WalkPost(doc, func(n *dom.Node) bool {
+		n.XID = next
+		next++
+		return true
+	})
+	return &Allocator{next: next}
+}
+
+// Allocator hands out fresh, never-reused XIDs for inserted nodes.
+type Allocator struct {
+	next int64
+}
+
+// NewAllocator returns an allocator whose first XID is next.
+func NewAllocator(next int64) *Allocator {
+	if next < 1 {
+		next = 1
+	}
+	return &Allocator{next: next}
+}
+
+// AllocatorFor returns an allocator positioned after the largest XID
+// present in the document.
+func AllocatorFor(doc *dom.Node) *Allocator {
+	var max int64
+	dom.WalkPre(doc, func(n *dom.Node) bool {
+		if n.XID > max {
+			max = n.XID
+		}
+		return true
+	})
+	return &Allocator{next: max + 1}
+}
+
+// Next returns a fresh XID.
+func (a *Allocator) Next() int64 {
+	x := a.next
+	a.next++
+	return x
+}
+
+// Peek returns the next XID without consuming it.
+func (a *Allocator) Peek() int64 { return a.next }
+
+// Map is the post-order list of XIDs of a subtree, stored as sorted,
+// non-overlapping ranges in subtree post-order. Because initial
+// assignment is post-order, a never-changed subtree compresses to a
+// single range such as "(3-7)"; after edits the list may fragment,
+// e.g. "(3-5;9;12-14)".
+type Map struct {
+	ranges []span
+}
+
+type span struct{ lo, hi int64 }
+
+// Of collects the XIDs of the subtree rooted at n in post-order.
+func Of(n *dom.Node) Map {
+	var m Map
+	dom.WalkPost(n, func(x *dom.Node) bool {
+		m.Append(x.XID)
+		return true
+	})
+	return m
+}
+
+// Append adds one XID at the end of the map, merging it into the last
+// range when contiguous.
+func (m *Map) Append(x int64) {
+	if k := len(m.ranges); k > 0 && m.ranges[k-1].hi+1 == x {
+		m.ranges[k-1].hi = x
+		return
+	}
+	m.ranges = append(m.ranges, span{x, x})
+}
+
+// Len returns the number of XIDs in the map.
+func (m Map) Len() int {
+	n := 0
+	for _, r := range m.ranges {
+		n += int(r.hi - r.lo + 1)
+	}
+	return n
+}
+
+// Root returns the XID of the subtree root: the last XID in post-order.
+// It returns 0 for an empty map.
+func (m Map) Root() int64 {
+	if len(m.ranges) == 0 {
+		return 0
+	}
+	return m.ranges[len(m.ranges)-1].hi
+}
+
+// XIDs expands the map to the full post-order identifier list.
+func (m Map) XIDs() []int64 {
+	out := make([]int64, 0, m.Len())
+	for _, r := range m.ranges {
+		for x := r.lo; x <= r.hi; x++ {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains reports whether x appears in the map.
+func (m Map) Contains(x int64) bool {
+	for _, r := range m.ranges {
+		if x >= r.lo && x <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the map in the paper's syntax: "(3-7)", "(3-5;9)".
+// An empty map renders as "()".
+func (m Map) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, r := range m.ranges {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		if r.lo == r.hi {
+			b.WriteString(strconv.FormatInt(r.lo, 10))
+		} else {
+			b.WriteString(strconv.FormatInt(r.lo, 10))
+			b.WriteByte('-')
+			b.WriteString(strconv.FormatInt(r.hi, 10))
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseMap parses the "(3-5;9;12-14)" syntax produced by String.
+func ParseMap(s string) (Map, error) {
+	var m Map
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return m, fmt.Errorf("xid: map %q must be parenthesized", s)
+	}
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(body, ";") {
+		lo, hi, err := parseSpan(part)
+		if err != nil {
+			return Map{}, err
+		}
+		if k := len(m.ranges); k > 0 && m.ranges[k-1].hi+1 == lo {
+			// Normalize: merge ranges a caller wrote as "(1-2;3)".
+			m.ranges[k-1].hi = hi
+			continue
+		}
+		m.ranges = append(m.ranges, span{lo, hi})
+	}
+	return m, nil
+}
+
+func parseSpan(s string) (lo, hi int64, err error) {
+	if dash := strings.IndexByte(s, '-'); dash >= 0 {
+		lo, err = strconv.ParseInt(s[:dash], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("xid: bad range %q: %w", s, err)
+		}
+		hi, err = strconv.ParseInt(s[dash+1:], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("xid: bad range %q: %w", s, err)
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("xid: inverted range %q", s)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("xid: bad id %q: %w", s, err)
+	}
+	return lo, lo, nil
+}
+
+// ApplyTo writes the map's XIDs onto the subtree rooted at n in
+// post-order. It returns an error when the node count differs from the
+// map length.
+func (m Map) ApplyTo(n *dom.Node) error {
+	xids := m.XIDs()
+	i := 0
+	var overflow bool
+	dom.WalkPost(n, func(x *dom.Node) bool {
+		if i >= len(xids) {
+			overflow = true
+			return true
+		}
+		x.XID = xids[i]
+		i++
+		return true
+	})
+	if overflow || i != len(xids) {
+		return fmt.Errorf("xid: map has %d ids but subtree has %d nodes", len(xids), n.Size())
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package xpathlite
+
+import (
+	"strconv"
+	"strings"
+
+	"xydiff/internal/dom"
+)
+
+// Select evaluates the expression with n as the context node and
+// returns the matching nodes in document order, without duplicates.
+// Absolute expressions first climb to n's root.
+func (e *Expr) Select(n *dom.Node) []*dom.Node {
+	if n == nil {
+		return nil
+	}
+	if len(e.alts) == 1 {
+		return selectAlt(n, e.alts[0])
+	}
+	var out []*dom.Node
+	seen := make(map[*dom.Node]bool)
+	for _, alt := range e.alts {
+		for _, got := range selectAlt(n, alt) {
+			if !seen[got] {
+				seen[got] = true
+				out = append(out, got)
+			}
+		}
+	}
+	return out
+}
+
+func selectAlt(n *dom.Node, alt pathAlt) []*dom.Node {
+	ctx := []*dom.Node{n}
+	if alt.absolute {
+		root := n
+		for root.Parent != nil {
+			root = root.Parent
+		}
+		ctx = []*dom.Node{root}
+	}
+	for _, s := range alt.steps {
+		ctx = applyStep(ctx, s)
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return ctx
+}
+
+// SelectFirst returns the first match in document order, or nil.
+func (e *Expr) SelectFirst(n *dom.Node) *dom.Node {
+	out := e.Select(n)
+	if len(out) == 0 {
+		return nil
+	}
+	return out[0]
+}
+
+// Matches reports whether node n itself is selected by the expression
+// when evaluated from n's document root. It is the building block the
+// alerter uses to test "is this changed node interesting".
+func (e *Expr) Matches(n *dom.Node) bool {
+	if n == nil {
+		return false
+	}
+	for _, got := range e.Select(n) {
+		if got == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Value evaluates the expression and returns the text content of the
+// first match ("" when nothing matches).
+func (e *Expr) Value(n *dom.Node) string {
+	first := e.SelectFirst(n)
+	if first == nil {
+		return ""
+	}
+	return first.TextContent()
+}
+
+func applyStep(ctx []*dom.Node, s step) []*dom.Node {
+	var out []*dom.Node
+	seen := make(map[*dom.Node]bool)
+	add := func(n *dom.Node) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, c := range ctx {
+		// Candidates per axis, then node test, then predicates. The
+		// node set for predicates with positions is the per-context
+		// candidate list, matching XPath's semantics of [n] applying
+		// within each context node's children.
+		var cands []*dom.Node
+		switch s.axis {
+		case axisSelf:
+			cands = []*dom.Node{c}
+		case axisParent:
+			if c.Parent != nil {
+				cands = []*dom.Node{c.Parent}
+			}
+		case axisChild:
+			cands = c.Children
+		case axisDescendantOrSelf:
+			dom.WalkPre(c, func(x *dom.Node) bool {
+				cands = append(cands, x)
+				return true
+			})
+		}
+		var matched []*dom.Node
+		for _, cand := range cands {
+			if nodeTestOK(cand, s) {
+				matched = append(matched, cand)
+			}
+		}
+		for _, p := range s.preds {
+			matched = filterPred(matched, p)
+		}
+		for _, m := range matched {
+			add(m)
+		}
+	}
+	return out
+}
+
+func nodeTestOK(n *dom.Node, s step) bool {
+	switch s.test {
+	case testName:
+		return n.Type == dom.Element && n.Name == s.name
+	case testAnyElement:
+		return n.Type == dom.Element
+	case testText:
+		return n.Type == dom.Text
+	case testComment:
+		return n.Type == dom.Comment
+	case testAnyNode:
+		return true
+	default:
+		return false
+	}
+}
+
+func filterPred(nodes []*dom.Node, p pred) []*dom.Node {
+	switch pr := p.(type) {
+	case positionPred:
+		if pr.last {
+			if len(nodes) == 0 {
+				return nil
+			}
+			return nodes[len(nodes)-1:]
+		}
+		if pr.n > len(nodes) {
+			return nil
+		}
+		return nodes[pr.n-1 : pr.n]
+	default:
+		var out []*dom.Node
+		for _, n := range nodes {
+			if evalBool(n, p) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+}
+
+func evalBool(n *dom.Node, p pred) bool {
+	switch pr := p.(type) {
+	case boolPred:
+		if pr.op == tokAnd {
+			return evalBool(n, pr.l) && evalBool(n, pr.r)
+		}
+		return evalBool(n, pr.l) || evalBool(n, pr.r)
+	case comparePred:
+		values, exists := evalValue(n, pr.lhs)
+		if pr.op == tokEOF {
+			return exists
+		}
+		for _, v := range values {
+			if compare(v, pr) {
+				return true // XPath: a node-set comparison is existential
+			}
+		}
+		return false
+	case funcPred:
+		values, _ := evalValue(n, pr.lhs)
+		for _, v := range values {
+			switch pr.fn {
+			case "contains":
+				if strings.Contains(v, pr.arg) {
+					return true
+				}
+			case "starts-with":
+				if strings.HasPrefix(v, pr.arg) {
+					return true
+				}
+			}
+		}
+		return false
+	case positionPred:
+		// Position inside a boolean context is not supported (XPath
+		// would need the context position); treat as non-matching.
+		return false
+	default:
+		return false
+	}
+}
+
+// evalValue returns the candidate string values of a value expression
+// and whether the expression selected anything at all.
+func evalValue(n *dom.Node, ve valueExpr) ([]string, bool) {
+	if ve.attr != "" {
+		if v, ok := n.Attribute(ve.attr); ok {
+			return []string{v}, true
+		}
+		return nil, false
+	}
+	ctx := []*dom.Node{n}
+	for _, s := range ve.path {
+		ctx = applyStep(ctx, s)
+	}
+	if ve.text {
+		var texts []string
+		for _, c := range ctx {
+			for _, ch := range c.Children {
+				if ch.Type == dom.Text {
+					texts = append(texts, ch.Value)
+				}
+			}
+			if c.Type == dom.Text {
+				texts = append(texts, c.Value)
+			}
+		}
+		// A bare text() step on the context node itself.
+		if len(ve.path) == 0 {
+			texts = nil
+			for _, ch := range n.Children {
+				if ch.Type == dom.Text {
+					texts = append(texts, ch.Value)
+				}
+			}
+		}
+		return texts, len(texts) > 0
+	}
+	if len(ctx) == 0 {
+		return nil, false
+	}
+	var out []string
+	for _, c := range ctx {
+		out = append(out, c.TextContent())
+	}
+	return out, true
+}
+
+func compare(v string, pr comparePred) bool {
+	if pr.rhsIsNum {
+		lv, err := strconv.ParseFloat(strings.TrimSpace(stripCurrency(v)), 64)
+		if err != nil {
+			return false
+		}
+		switch pr.op {
+		case tokEq:
+			return lv == pr.rhsNumber
+		case tokNeq:
+			return lv != pr.rhsNumber
+		case tokLt:
+			return lv < pr.rhsNumber
+		case tokLe:
+			return lv <= pr.rhsNumber
+		case tokGt:
+			return lv > pr.rhsNumber
+		case tokGe:
+			return lv >= pr.rhsNumber
+		}
+		return false
+	}
+	switch pr.op {
+	case tokEq:
+		return v == pr.rhs
+	case tokNeq:
+		return v != pr.rhs
+	case tokLt:
+		return v < pr.rhs
+	case tokLe:
+		return v <= pr.rhs
+	case tokGt:
+		return v > pr.rhs
+	case tokGe:
+		return v >= pr.rhs
+	}
+	return false
+}
+
+// stripCurrency lets numeric predicates work over values like "$499",
+// which the catalog documents of the paper's examples use.
+func stripCurrency(s string) string {
+	s = strings.TrimSpace(s)
+	for _, prefix := range []string{"$", "€", "£"} {
+		s = strings.TrimPrefix(s, prefix)
+	}
+	return s
+}

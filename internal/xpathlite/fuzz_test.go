@@ -1,0 +1,36 @@
+package xpathlite
+
+import (
+	"testing"
+
+	"xydiff/internal/dom"
+)
+
+// FuzzCompile: expressions either fail to compile or evaluate without
+// panicking on a representative document.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		`/a/b/c`, `//x[@k='v']`, `a[1][last()]`, `*[text()='t']`,
+		`//p[price>12.5 and @s!='x' or q]`, `a/../b/.`, `//node()`,
+		`[`, `a[`, `//`, `a[b=]`, `.`, `..`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc, err := dom.ParseString(`<a k="v"><b><c>t</c></b><p><price>13</price><q/></p><x k="v"/></a>`)
+	if err != nil {
+		panic(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if e.String() != src {
+			t.Fatalf("String() = %q, want %q", e.String(), src)
+		}
+		_ = e.Select(doc)
+		_ = e.Matches(doc.Root())
+		_ = e.Value(doc)
+	})
+}

@@ -1,0 +1,208 @@
+// Package xpathlite implements the query-language substrate the paper
+// motivates (Sections 1–2: XML "allows for real query languages", and
+// "queries about the past ... are regular queries over documents" once
+// deltas are stored as XML). It is a compact XPath subset sufficient
+// for the warehouse's needs:
+//
+//	/site/page[@url='/a.html']/title     absolute paths with predicates
+//	//Product[Price>'500']               descendant search, comparisons
+//	Category/Product[2]                  positional predicates
+//	page[@url][links]                    attribute/child existence
+//	*[text()='x'] | .. | . | node()      wildcards, axes, node tests
+//	page[last()]                         last()
+//
+// Expressions compile once (Compile) and evaluate against any node
+// (Select), including delta documents and reconstructed past versions —
+// which is precisely how "querying the past" works in package store.
+package xpathlite
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF      tokenKind = iota
+	tokSlash              // /
+	tokDSlash             // //
+	tokName               // element name, function name
+	tokStar               // *
+	tokAt                 // @
+	tokLBracket           // [
+	tokRBracket           // ]
+	tokLParen             // (
+	tokRParen             // )
+	tokString             // 'quoted' or "quoted"
+	tokNumber             // 123 or 12.5
+	tokEq                 // =
+	tokNeq                // !=
+	tokLt                 // <
+	tokLe                 // <=
+	tokGt                 // >
+	tokGe                 // >=
+	tokDot                // .
+	tokDotDot             // ..
+	tokAnd                // and
+	tokOr                 // or
+	tokUnion              // |
+	tokComma              // ,
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/':
+			if l.peekAt(1) == '/' {
+				l.emit(tokDSlash, "//", start)
+				l.pos += 2
+			} else {
+				l.emit(tokSlash, "/", start)
+				l.pos++
+			}
+		case c == '*':
+			l.emit(tokStar, "*", start)
+			l.pos++
+		case c == '|':
+			l.emit(tokUnion, "|", start)
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",", start)
+			l.pos++
+		case c == '@':
+			l.emit(tokAt, "@", start)
+			l.pos++
+		case c == '[':
+			l.emit(tokLBracket, "[", start)
+			l.pos++
+		case c == ']':
+			l.emit(tokRBracket, "]", start)
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(", start)
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")", start)
+			l.pos++
+		case c == '=':
+			l.emit(tokEq, "=", start)
+			l.pos++
+		case c == '!':
+			if l.peekAt(1) != '=' {
+				return nil, fmt.Errorf("xpathlite: stray '!' at %d", start)
+			}
+			l.emit(tokNeq, "!=", start)
+			l.pos += 2
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.emit(tokLe, "<=", start)
+				l.pos += 2
+			} else {
+				l.emit(tokLt, "<", start)
+				l.pos++
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.emit(tokGe, ">=", start)
+				l.pos += 2
+			} else {
+				l.emit(tokGt, ">", start)
+				l.pos++
+			}
+		case c == '\'' || c == '"':
+			end := strings.IndexByte(l.src[l.pos+1:], c)
+			if end < 0 {
+				return nil, fmt.Errorf("xpathlite: unterminated string at %d", start)
+			}
+			l.emit(tokString, l.src[l.pos+1:l.pos+1+end], start)
+			l.pos += end + 2
+		case c == '.':
+			if l.peekAt(1) == '.' {
+				l.emit(tokDotDot, "..", start)
+				l.pos += 2
+			} else if isDigit(l.peekAt(1)) {
+				l.lexNumber(start)
+			} else {
+				l.emit(tokDot, ".", start)
+				l.pos++
+			}
+		case isDigit(c):
+			l.lexNumber(start)
+		case isNameStart(rune(c)):
+			l.lexName(start)
+		default:
+			return nil, fmt.Errorf("xpathlite: unexpected character %q at %d", c, start)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.tokens, nil
+}
+
+func (l *lexer) lexNumber(start int) {
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexName(start int) {
+	for l.pos < len(l.src) && isNamePart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	switch text {
+	case "and":
+		l.emit(tokAnd, text, start)
+	case "or":
+		l.emit(tokOr, text, start)
+	default:
+		l.emit(tokName, text, start)
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNamePart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || r == ':' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

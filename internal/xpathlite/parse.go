@@ -1,0 +1,406 @@
+package xpathlite
+
+import "fmt"
+
+// Expr is a compiled path expression: one or more "|"-separated path
+// alternatives whose results are unioned.
+type Expr struct {
+	alts []pathAlt
+	src  string
+}
+
+// pathAlt is one union branch.
+type pathAlt struct {
+	absolute bool
+	steps    []step
+}
+
+// String returns the source text the expression was compiled from.
+func (e *Expr) String() string { return e.src }
+
+type axis uint8
+
+const (
+	axisChild axis = iota
+	axisDescendantOrSelf
+	axisSelf
+	axisParent
+)
+
+type nodeTest uint8
+
+const (
+	testName       nodeTest = iota // element with a specific name
+	testAnyElement                 // *
+	testText                       // text()
+	testComment                    // comment()
+	testAnyNode                    // node()
+)
+
+type step struct {
+	axis  axis
+	test  nodeTest
+	name  string
+	preds []pred
+}
+
+// pred is one [...] predicate.
+type pred interface{ isPred() }
+
+// positionPred selects the n-th node of the step's result (1-based) or
+// the last one.
+type positionPred struct {
+	n    int
+	last bool
+}
+
+// comparePred compares a value expression against a literal, or tests
+// bare existence.
+type comparePred struct {
+	lhs       valueExpr
+	op        tokenKind // tokEq/tokNeq/tokLt/tokLe/tokGt/tokGe; tokEOF = existence
+	rhs       string
+	rhsIsNum  bool
+	rhsNumber float64
+}
+
+// boolPred combines two predicates with and/or.
+type boolPred struct {
+	op   tokenKind // tokAnd or tokOr
+	l, r pred
+}
+
+// funcPred is a string-function predicate: contains(expr, 'lit') or
+// starts-with(expr, 'lit').
+type funcPred struct {
+	fn  string // "contains" or "starts-with"
+	lhs valueExpr
+	arg string
+}
+
+func (positionPred) isPred() {}
+func (comparePred) isPred()  {}
+func (boolPred) isPred()     {}
+func (funcPred) isPred()     {}
+
+// valueExpr is the left side of a comparison: an attribute, a relative
+// child path's text, or text().
+type valueExpr struct {
+	attr string // @attr when non-empty
+	path []step // relative path otherwise; empty with text=false means "."
+	text bool   // text() on the final node set
+}
+
+// Compile parses a path expression.
+func Compile(src string) (*Expr, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens, src: src}
+	e := &Expr{src: src}
+	for {
+		alt, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		e.alts = append(e.alts, alt)
+		if !p.accept(tokUnion) {
+			break
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("xpathlite: unexpected %s after expression in %q", p.peek(), src)
+	}
+	return e, nil
+}
+
+// MustCompile is Compile, panicking on error; for fixed expressions.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+	src    string
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokenKind) bool {
+	if p.peek().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("xpathlite: expected %s, found %s in %q", what, t, p.src)
+	}
+	return t, nil
+}
+
+// parsePath = ["/" | "//"] step (("/" | "//") step)*
+func (p *parser) parsePath() (pathAlt, error) {
+	var e pathAlt
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+		e.absolute = true
+		switch p.peek().kind {
+		case tokEOF, tokUnion: // bare "/" selects the document
+			return e, nil
+		}
+	case tokDSlash:
+		p.next()
+		e.absolute = true
+		e.steps = append(e.steps, step{axis: axisDescendantOrSelf, test: testAnyNode})
+	}
+	for {
+		s, err := p.parseStep()
+		if err != nil {
+			return e, err
+		}
+		e.steps = append(e.steps, s)
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+		case tokDSlash:
+			p.next()
+			e.steps = append(e.steps, step{axis: axisDescendantOrSelf, test: testAnyNode})
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseStep = ("." | ".." | "*" | name | name "(" ")") predicates*
+func (p *parser) parseStep() (step, error) {
+	var s step
+	s.axis = axisChild
+	switch t := p.next(); t.kind {
+	case tokDot:
+		return step{axis: axisSelf, test: testAnyNode}, nil
+	case tokDotDot:
+		return step{axis: axisParent, test: testAnyNode}, nil
+	case tokStar:
+		s.test = testAnyElement
+	case tokName:
+		if p.accept(tokLParen) {
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return s, err
+			}
+			switch t.text {
+			case "text":
+				s.test = testText
+			case "comment":
+				s.test = testComment
+			case "node":
+				s.test = testAnyNode
+			default:
+				return s, fmt.Errorf("xpathlite: unknown node test %s() in %q", t.text, p.src)
+			}
+		} else {
+			s.test = testName
+			s.name = t.text
+		}
+	default:
+		return s, fmt.Errorf("xpathlite: expected a step, found %s in %q", t, p.src)
+	}
+	for p.accept(tokLBracket) {
+		pr, err := p.parsePredicate()
+		if err != nil {
+			return s, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return s, err
+		}
+		s.preds = append(s.preds, pr)
+	}
+	return s, nil
+}
+
+// parsePredicate = orExpr | number | last()
+func (p *parser) parsePredicate() (pred, error) {
+	if t := p.peek(); t.kind == tokNumber {
+		p.next()
+		n, err := parsePosition(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("xpathlite: %v in %q", err, p.src)
+		}
+		return positionPred{n: n}, nil
+	}
+	if t := p.peek(); t.kind == tokName && t.text == "last" &&
+		p.tokens[p.pos+1].kind == tokLParen {
+		p.pos += 2
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return positionPred{last: true}, nil
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (pred, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOr) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = boolPred{op: tokOr, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (pred, error) {
+	l, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		r, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		l = boolPred{op: tokAnd, l: l, r: r}
+	}
+	return l, nil
+}
+
+// parseCompare = function "(" valueExpr "," literal ")" | valueExpr [op literal]
+func (p *parser) parseCompare() (pred, error) {
+	if t := p.peek(); t.kind == tokName && (t.text == "contains" || t.text == "starts-with") &&
+		p.tokens[p.pos+1].kind == tokLParen {
+		p.pos += 2
+		lhs, err := p.parseValueExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return nil, err
+		}
+		lit := p.next()
+		if lit.kind != tokString {
+			return nil, fmt.Errorf("xpathlite: %s() needs a string literal, found %s in %q", t.text, lit, p.src)
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return funcPred{fn: t.text, lhs: lhs, arg: lit.text}, nil
+	}
+	lhs, err := p.parseValueExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek().kind
+	switch op {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		p.next()
+	default:
+		return comparePred{lhs: lhs, op: tokEOF}, nil // existence test
+	}
+	lit := p.next()
+	switch lit.kind {
+	case tokString:
+		return comparePred{lhs: lhs, op: op, rhs: lit.text}, nil
+	case tokNumber:
+		num, err := parseNumber(lit.text)
+		if err != nil {
+			return nil, fmt.Errorf("xpathlite: %v in %q", err, p.src)
+		}
+		return comparePred{lhs: lhs, op: op, rhs: lit.text, rhsIsNum: true, rhsNumber: num}, nil
+	default:
+		return nil, fmt.Errorf("xpathlite: expected a literal after comparison, found %s in %q", lit, p.src)
+	}
+}
+
+// parseValueExpr = "@" name | relative-path [ "/" "text()" ] | "text()" | "."
+func (p *parser) parseValueExpr() (valueExpr, error) {
+	if p.accept(tokAt) {
+		t, err := p.expect(tokName, "attribute name")
+		if err != nil {
+			return valueExpr{}, err
+		}
+		return valueExpr{attr: t.text}, nil
+	}
+	if p.peek().kind == tokDot {
+		p.next()
+		return valueExpr{}, nil
+	}
+	// A relative path of name/* steps, possibly ending in text().
+	var ve valueExpr
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokName && p.tokens[p.pos+1].kind == tokLParen && t.text == "text":
+			p.pos += 2
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return ve, err
+			}
+			ve.text = true
+			return ve, nil
+		case t.kind == tokName:
+			p.next()
+			ve.path = append(ve.path, step{axis: axisChild, test: testName, name: t.text})
+		case t.kind == tokStar:
+			p.next()
+			ve.path = append(ve.path, step{axis: axisChild, test: testAnyElement})
+		default:
+			return ve, fmt.Errorf("xpathlite: expected a value expression, found %s in %q", t, p.src)
+		}
+		if !p.accept(tokSlash) {
+			return ve, nil
+		}
+	}
+}
+
+func parsePosition(s string) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return 0, fmt.Errorf("position %q must be an integer", s)
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("position %q must be >= 1", s)
+	}
+	return n, nil
+}
+
+func parseNumber(s string) (float64, error) {
+	var v float64
+	var frac float64 = 1
+	seenDot := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			if seenDot {
+				return 0, fmt.Errorf("bad number %q", s)
+			}
+			seenDot = true
+			continue
+		}
+		if !isDigit(s[i]) {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		if seenDot {
+			frac /= 10
+			v += float64(s[i]-'0') * frac
+		} else {
+			v = v*10 + float64(s[i]-'0')
+		}
+	}
+	return v, nil
+}
