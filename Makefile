@@ -1,0 +1,30 @@
+# The pre-PR gate: `make check` is what CI runs and what every change
+# should pass locally before review.
+GO ?= go
+
+.PHONY: check fmt vet build test race bench server
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Run the change-control daemon locally (data in ./xydiffd-data).
+server:
+	$(GO) run ./cmd/xydiffd -addr :8427

@@ -7,7 +7,12 @@ package xydiff_test
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"xydiff/internal/baseline"
@@ -17,6 +22,8 @@ import (
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 	"xydiff/internal/index"
+	"xydiff/internal/server"
+	"xydiff/internal/store"
 	"xydiff/internal/textdiff"
 	"xydiff/internal/xid"
 )
@@ -315,6 +322,56 @@ func BenchmarkIndexMaintenance(b *testing.B) {
 			ix.AddDocument("doc", sim.New)
 		}
 	})
+}
+
+// BenchmarkServerPut measures the xydiffd ingest path end to end: an
+// HTTP PUT through the handler stack, worker pool, store, diff, and
+// delta storage, using a changesim-generated version chain as the
+// workload. ns/op is the full per-version install cost as a client
+// would see it against a local listener.
+func BenchmarkServerPut(b *testing.B) {
+	// Pre-generate a chain of versions so the loop measures only the
+	// server, not the simulator.
+	rng := rand.New(rand.NewSource(13))
+	doc := changesim.CatalogOfSize(rng, 20_000)
+	versions := []string{doc.String()}
+	for step := 0; step < 8; step++ {
+		sim, err := changesim.Simulate(doc, changesim.Uniform(0.10, int64(step)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc = sim.New
+		versions = append(versions, doc.String())
+	}
+
+	srv := server.New(store.New(diff.Options{}), server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	b.SetBytes(int64(len(versions[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := versions[i%len(versions)]
+		req, err := http.NewRequest("PUT", ts.URL+"/docs/bench", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			b.Fatalf("PUT: %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(srv.Metrics().DiffCount())/float64(b.N), "diffs/op")
 }
 
 // BenchmarkDeltaCompose measures chain aggregation (Section 4's delta

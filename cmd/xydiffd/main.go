@@ -1,0 +1,128 @@
+// Command xydiffd is the networked change-control service: the Xyleme
+// pipeline (crawler → diff → delta storage → alerter) behind an HTTP
+// API. Clients PUT document versions; the daemon computes and stores
+// completed deltas, reconstructs any past version, serves single or
+// aggregated delta-XML, and raises subscription alerts (polled or
+// streamed as NDJSON).
+//
+// Usage:
+//
+//	xydiffd [flags]
+//
+//	-addr    listen address (default :8427)
+//	-dir     data directory; loaded on start, flushed on shutdown
+//	         (default xydiffd-data)
+//	-workers diff worker pool size (default GOMAXPROCS)
+//	-queue   queued diffs before requests are shed with 503 (default 64)
+//	-timeout per-request deadline, diff included (default 30s)
+//	-max-body largest accepted document version in bytes (default 16 MiB)
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, lets in-flight
+// diffs finish, and flushes the store to -dir with crash-safe renames,
+// so a restarted daemon serves every stored version.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/server"
+	"xydiff/internal/store"
+)
+
+type config struct {
+	addr   string
+	dir    string
+	server server.Config
+	logger *slog.Logger
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8427", "listen `address`")
+	flag.StringVar(&cfg.dir, "dir", "xydiffd-data", "data `directory` (loaded on start, flushed on shutdown)")
+	flag.IntVar(&cfg.server.Workers, "workers", 0, "diff worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.server.QueueDepth, "queue", 0, "max queued diffs before shedding (0 = default 64)")
+	flag.DurationVar(&cfg.server.RequestTimeout, "timeout", 0, "per-request `deadline` (0 = default 30s)")
+	flag.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "max document `bytes` per PUT (0 = default 16MiB)")
+	flag.Parse()
+	cfg.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg.server.Logger = cfg.logger
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "xydiffd:", err)
+		os.Exit(1)
+	}
+}
+
+// run brings the daemon up, serves until ctx is canceled, then shuts
+// down gracefully: listener closed, in-flight requests drained, worker
+// pool flushed, store saved to cfg.dir. ready, if non-nil, is called
+// with the bound address once the listener accepts connections (tests
+// pass -addr 127.0.0.1:0 and dial what they get back).
+func run(ctx context.Context, cfg config, ready func(addr string)) error {
+	st, err := loadOrEmpty(cfg.dir)
+	if err != nil {
+		return err
+	}
+	srv := server.New(st, cfg.server)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	cfg.logger.Info("xydiffd listening",
+		"addr", ln.Addr().String(), "dir", cfg.dir,
+		"documents", len(st.IDs()))
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		return err // listener failed outright
+	case <-ctx.Done():
+	}
+
+	cfg.logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		cfg.logger.Error("shutdown", "err", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cfg.logger.Error("serve", "err", err)
+	}
+	srv.Close() // drain queued diffs so the save below sees them all
+	if err := st.Save(cfg.dir); err != nil {
+		return fmt.Errorf("flushing store: %w", err)
+	}
+	cfg.logger.Info("store flushed", "dir", cfg.dir, "documents", len(st.IDs()))
+	return nil
+}
+
+func loadOrEmpty(dir string) (*store.Store, error) {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return store.New(diff.Options{}), nil
+	}
+	return store.Load(dir, diff.Options{})
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xydiff/internal/server"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, a cancel to trigger graceful shutdown, and the channel run's
+// error arrives on.
+func startDaemon(t *testing.T, dir string) (url string, shutdown context.CancelFunc, done chan error) {
+	t.Helper()
+	cfg := config{
+		addr:   "127.0.0.1:0",
+		dir:    dir,
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		server: server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, cfg, func(a string) { addrc <- a }) }()
+	select {
+	case a := <-addrc:
+		return "http://" + a, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+		return "", nil, nil
+	}
+}
+
+func waitExit(t *testing.T, done chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func put(t *testing.T, url, id, body string) {
+	t.Helper()
+	req, err := http.NewRequest("PUT", url+"/docs/"+id, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PUT %s: %d %s", id, resp.StatusCode, b)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestGracefulShutdownAndRestart is the daemon's acceptance test:
+// versions installed over HTTP survive a graceful shutdown, and a
+// restarted daemon serves every stored version and delta from disk.
+func TestGracefulShutdownAndRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	v1 := `<Catalog><Product><Name>tx123</Name></Product></Catalog>`
+	v2 := `<Catalog><Product><Name>tx123</Name></Product><Product><Name>zy456</Name></Product></Catalog>`
+
+	url, shutdown, done := startDaemon(t, dir)
+	put(t, url, "catalog", v1)
+	put(t, url, "catalog", v2)
+	shutdown()
+	waitExit(t, done)
+
+	// Fresh process state: everything must come back from disk.
+	url, shutdown, done = startDaemon(t, dir)
+	defer func() { shutdown(); waitExit(t, done) }()
+
+	if code, body := get(t, url+"/docs/catalog/versions/1"); code != 200 || body != v1 {
+		t.Errorf("v1 after restart: %d %q", code, body)
+	}
+	if code, body := get(t, url+"/docs/catalog"); code != 200 || body != v2 {
+		t.Errorf("latest after restart: %d %q", code, body)
+	}
+	if code, body := get(t, url+"/docs/catalog/deltas/1"); code != 200 || !strings.Contains(body, "zy456") {
+		t.Errorf("delta after restart: %d %q", code, body)
+	}
+	// And the restarted daemon still accepts new versions on top.
+	put(t, url, "catalog", v1)
+	if code, _ := get(t, url+"/docs/catalog/versions/3"); code != 200 {
+		t.Errorf("v3 after restart put: %d", code)
+	}
+}
+
+func TestShutdownWithoutTraffic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	_, shutdown, done := startDaemon(t, dir)
+	shutdown()
+	waitExit(t, done)
+}

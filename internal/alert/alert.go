@@ -58,8 +58,9 @@ func (a Alert) String() string {
 // Alerter evaluates subscriptions against deltas. It is safe for
 // concurrent use.
 type Alerter struct {
-	mu   sync.RWMutex
-	subs []Subscription
+	mu    sync.RWMutex
+	subs  []Subscription
+	sinks []Notifier
 }
 
 // New returns an Alerter with the given initial subscriptions.
@@ -105,7 +106,8 @@ func (a *Alerter) Subscriptions() []Subscription {
 // version newVersion of document docID. oldDoc and newDoc are the
 // versions before and after; they are used to resolve the paths of
 // affected nodes (XIDs must be consistent with the delta, which is the
-// case for documents coming out of diff.Diff or store.Store).
+// case for documents coming out of diff.Diff or store.Store). Matches
+// are returned and also fanned out to any attached Notifier sinks.
 func (a *Alerter) Notify(docID string, newVersion int, oldDoc, newDoc *dom.Node, d *delta.Delta) []Alert {
 	if d.Empty() {
 		return nil
@@ -141,6 +143,7 @@ func (a *Alerter) Notify(docID string, newVersion int, oldDoc, newDoc *dom.Node,
 			alerts = append(alerts, Alert{SubID: s.ID, DocID: docID, Version: newVersion, Op: op, Path: path})
 		}
 	}
+	a.dispatch(alerts)
 	return alerts
 }
 

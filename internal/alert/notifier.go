@@ -1,0 +1,108 @@
+package alert
+
+import "sync"
+
+// Notifier is a sink for alerts as they are raised. Attached notifiers
+// receive every batch of alerts a Notify call produces, synchronously
+// and in Notify order, so an implementation must not block: buffer or
+// drop instead.
+type Notifier interface {
+	Alerts([]Alert)
+}
+
+// Attach registers a sink that receives all future alert batches.
+func (a *Alerter) Attach(n Notifier) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sinks = append(a.sinks, n)
+}
+
+// Detach removes a previously attached sink, reporting whether it was
+// attached.
+func (a *Alerter) Detach(n Notifier) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.sinks {
+		if s == n {
+			a.sinks = append(a.sinks[:i], a.sinks[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch fans a batch out to the attached sinks.
+func (a *Alerter) dispatch(alerts []Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	a.mu.RLock()
+	sinks := make([]Notifier, len(a.sinks))
+	copy(sinks, a.sinks)
+	a.mu.RUnlock()
+	for _, s := range sinks {
+		s.Alerts(alerts)
+	}
+}
+
+// ChanNotifier is a channel-backed in-process Notifier: alerts are
+// delivered one by one on C without ever blocking the alerter — when
+// the buffer is full, alerts are counted as dropped instead. This is
+// what lets a server stream matches to a subscriber instead of having
+// it poll.
+type ChanNotifier struct {
+	ch chan Alert
+
+	mu      sync.Mutex
+	dropped int
+	closed  bool
+}
+
+// NewChanNotifier returns a notifier buffering up to buf alerts
+// (minimum 1).
+func NewChanNotifier(buf int) *ChanNotifier {
+	if buf < 1 {
+		buf = 1
+	}
+	return &ChanNotifier{ch: make(chan Alert, buf)}
+}
+
+// C is the delivery channel. It is closed by Close.
+func (c *ChanNotifier) C() <-chan Alert { return c.ch }
+
+// Alerts implements Notifier with a non-blocking send per alert.
+func (c *ChanNotifier) Alerts(alerts []Alert) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.dropped += len(alerts)
+		return
+	}
+	for _, a := range alerts {
+		select {
+		case c.ch <- a:
+		default:
+			c.dropped++
+		}
+	}
+}
+
+// Dropped returns how many alerts were discarded because the buffer was
+// full (or the notifier closed).
+func (c *ChanNotifier) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Close closes the delivery channel. Callers should Detach the notifier
+// from the alerter first; alerts arriving after Close are counted as
+// dropped. Close is idempotent.
+func (c *ChanNotifier) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+}

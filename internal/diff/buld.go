@@ -67,18 +67,30 @@ func DiffDetailed(oldDoc, newDoc *dom.Node, opts Options) (*Result, error) {
 	newT := newTree(newDoc)
 	m := newMatcher(oldT, newT, opts)
 	r.Timings.Phase2 = time.Since(start)
+	if opts.canceled() {
+		return nil, errCanceled
+	}
 
 	start = time.Now()
 	m.phase1IDs()
 	r.Timings.Phase1 = time.Since(start)
+	if opts.canceled() {
+		return nil, errCanceled
+	}
 
 	start = time.Now()
 	m.phase3BULD()
 	r.Timings.Phase3 = time.Since(start)
+	if opts.canceled() {
+		return nil, errCanceled
+	}
 
 	start = time.Now()
 	m.phase4Propagate()
 	r.Timings.Phase4 = time.Since(start)
+	if opts.canceled() {
+		return nil, errCanceled
+	}
 
 	start = time.Now()
 	r.Delta = m.buildDelta()

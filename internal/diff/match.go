@@ -261,7 +261,13 @@ func (m *matcher) phase3BULD() {
 		push(m.new.index[c])
 	}
 	heap.Init(&q)
+	pops := 0
 	for q.Len() > 0 {
+		// Large documents spend most of their diff here; honour
+		// cancellation without paying a channel poll per pop.
+		if pops++; pops&0x0fff == 0 && m.opts.canceled() {
+			return
+		}
 		item := heap.Pop(&q).(queueItem)
 		y := item.idx
 		if m.newToOld[y] >= 0 {
@@ -457,6 +463,9 @@ func (m *matcher) eagerDownFrom(newIdx int) {
 // parent" followed by top-down "propagate to children".
 func (m *matcher) phase4Propagate() {
 	for pass := 0; pass < m.opts.passes(); pass++ {
+		if m.opts.canceled() {
+			return
+		}
 		m.propagateToParents()
 		m.propagateToChildren()
 	}

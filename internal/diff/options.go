@@ -69,6 +69,11 @@ type Options struct {
 	// Compose uses it so an aggregated delta assigns the same
 	// identifiers the original chain did.
 	keepNewXIDs bool
+
+	// done, when non-nil, aborts the diff once the channel closes
+	// (between phases and periodically inside the Phase 3 loop). Set
+	// through DiffContext.
+	done <-chan struct{}
 }
 
 func (o Options) lisWindow() int {

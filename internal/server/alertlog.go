@@ -1,0 +1,43 @@
+package server
+
+import (
+	"sync"
+
+	"xydiff/internal/alert"
+)
+
+// alertLog keeps the most recent alerts per document so GET
+// /docs/{id}/alerts can answer without a live subscription; streaming
+// consumers use the alerter's ChanNotifier instead.
+type alertLog struct {
+	mu    sync.Mutex
+	cap   int
+	byDoc map[string][]alert.Alert
+}
+
+func newAlertLog(capPerDoc int) *alertLog {
+	if capPerDoc < 1 {
+		capPerDoc = 1
+	}
+	return &alertLog{cap: capPerDoc, byDoc: make(map[string][]alert.Alert)}
+}
+
+func (l *alertLog) add(alerts []alert.Alert) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, a := range alerts {
+		log := append(l.byDoc[a.DocID], a)
+		if over := len(log) - l.cap; over > 0 {
+			log = append(log[:0], log[over:]...)
+		}
+		l.byDoc[a.DocID] = log
+	}
+}
+
+func (l *alertLog) forDoc(id string) []alert.Alert {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]alert.Alert, len(l.byDoc[id]))
+	copy(out, l.byDoc[id])
+	return out
+}

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"xydiff/internal/alert"
+	"xydiff/internal/delta"
+	"xydiff/internal/dom"
+	"xydiff/internal/store"
+	"xydiff/internal/xpathlite"
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// storeError maps store failures onto HTTP statuses: unknown documents
+// and out-of-range versions are 404s, deadline hits are load-shedding
+// 503s, the rest are genuine 500s.
+func storeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrUnknownDocument), errors.Is(err, store.ErrNoSuchVersion):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded during diff")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"documents": len(s.store.IDs()),
+		"uptime":    time.Since(s.started).Round(time.Second).String(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+
+	// Change statistics from the stats collector (the paper's
+	// measurement program), aggregated over every versioning diff.
+	rep := s.collector.Report()
+	fmt.Fprintln(w, "# HELP xydiffd_change_versions_observed Version transitions measured.")
+	fmt.Fprintln(w, "# TYPE xydiffd_change_versions_observed counter")
+	fmt.Fprintf(w, "xydiffd_change_versions_observed %d\n", rep.Versions)
+	fmt.Fprintln(w, "# TYPE xydiffd_change_ops_total counter")
+	for _, kv := range []struct {
+		kind string
+		n    int
+	}{
+		{"insert", rep.Ops.Inserts}, {"delete", rep.Ops.Deletes},
+		{"update", rep.Ops.Updates}, {"move", rep.Ops.Moves}, {"attr", rep.Ops.AttrOps},
+	} {
+		fmt.Fprintf(w, "xydiffd_change_ops_total{kind=%q} %d\n", kv.kind, kv.n)
+	}
+	fmt.Fprintln(w, "# TYPE xydiffd_change_delta_doc_ratio gauge")
+	fmt.Fprintf(w, "xydiffd_change_delta_doc_ratio %g\n", rep.DeltaRatio())
+	fmt.Fprintln(w, "# TYPE xydiffd_store_documents gauge")
+	fmt.Fprintf(w, "xydiffd_store_documents %d\n", len(s.store.IDs()))
+}
+
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	type docInfo struct {
+		ID       string `json:"id"`
+		Versions int    `json:"versions"`
+	}
+	out := []docInfo{}
+	for _, id := range s.store.IDs() {
+		out = append(out, docInfo{ID: id, Versions: s.store.Versions(id)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type putResult struct {
+	version int
+	delta   *delta.Delta
+	err     error
+}
+
+func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	doc, err := dom.Parse(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("document exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse document: "+err.Error())
+		return
+	}
+
+	// The diff runs on the bounded worker pool: per-document ordering
+	// comes from the store's history lock, global concurrency from the
+	// pool, and a full queue is backpressure the client sees as 503.
+	done := make(chan putResult, 1)
+	ctx := r.Context()
+	submitErr := s.pool.submit(func() {
+		v, d, err := s.store.PutContext(ctx, id, doc)
+		done <- putResult{version: v, delta: d, err: err}
+	})
+	if submitErr != nil {
+		s.metrics.addRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, submitErr.Error())
+		return
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			storeError(w, res.err)
+			return
+		}
+		resp := map[string]any{"id": id, "version": res.version}
+		if res.delta != nil {
+			resp["deltaOps"] = res.delta.Count().Total()
+			resp["deltaBytes"] = res.delta.Size()
+		} else {
+			resp["deltaOps"] = 0
+			resp["deltaBytes"] = 0
+		}
+		code := http.StatusOK
+		if res.version == 1 {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, resp)
+	case <-ctx.Done():
+		// The job keeps its slot until the canceled diff unwinds; the
+		// client just stops waiting.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded waiting for diff")
+	}
+}
+
+func writeDoc(w http.ResponseWriter, doc *dom.Node, version int) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("X-Xydiff-Version", strconv.Itoa(version))
+	doc.WriteTo(w)
+}
+
+func (s *Server) handleGetLatest(w http.ResponseWriter, r *http.Request) {
+	doc, version, err := s.store.Latest(r.PathValue("id"))
+	if err != nil {
+		storeError(w, err)
+		return
+	}
+	writeDoc(w, doc, version)
+}
+
+func (s *Server) handleGetVersion(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "version must be an integer")
+		return
+	}
+	doc, err := s.store.Version(r.PathValue("id"), n)
+	if err != nil {
+		storeError(w, err)
+		return
+	}
+	writeDoc(w, doc, n)
+}
+
+// handleGetDelta serves /docs/{id}/deltas/{spec} where spec is either a
+// single delta number n (version n -> n+1) or a range a..b, served as
+// the aggregated delta transforming version a into version b (b < a
+// yields the inverted aggregate).
+func (s *Server) handleGetDelta(w http.ResponseWriter, r *http.Request) {
+	id, spec := r.PathValue("id"), r.PathValue("spec")
+	var d *delta.Delta
+	if from, to, ok := strings.Cut(spec, ".."); ok {
+		a, errA := strconv.Atoi(from)
+		b, errB := strconv.Atoi(to)
+		if errA != nil || errB != nil {
+			writeError(w, http.StatusBadRequest, "delta range must be A..B with integer versions")
+			return
+		}
+		var err error
+		d, err = s.store.Aggregate(id, a, b)
+		if err != nil {
+			storeError(w, err)
+			return
+		}
+	} else {
+		n, err := strconv.Atoi(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "delta spec must be N or A..B")
+			return
+		}
+		d, err = s.store.Delta(id, n)
+		if err != nil {
+			storeError(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	d.WriteTo(w)
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions and alerts.
+
+type subscriptionJSON struct {
+	ID       string   `json:"id"`
+	Doc      string   `json:"doc,omitempty"`
+	Path     string   `json:"path,omitempty"`
+	Query    string   `json:"query,omitempty"`
+	Kinds    []string `json:"kinds,omitempty"`
+	Contains string   `json:"contains,omitempty"`
+}
+
+func parseKind(s string) (delta.Kind, error) {
+	for _, k := range []delta.Kind{
+		delta.KindInsert, delta.KindDelete, delta.KindUpdate, delta.KindMove,
+		delta.KindInsertAttr, delta.KindDeleteAttr, delta.KindUpdateAttr,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown operation kind %q", s)
+}
+
+func (s *Server) handleCreateSubscription(w http.ResponseWriter, r *http.Request) {
+	var req subscriptionJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse subscription: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "subscription needs an id")
+		return
+	}
+	sub := alert.Subscription{ID: req.ID, DocID: req.Doc, Path: req.Path, Contains: req.Contains}
+	if req.Query != "" {
+		expr, err := xpathlite.Compile(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "compile query: "+err.Error())
+			return
+		}
+		sub.Query = expr
+	}
+	for _, ks := range req.Kinds {
+		k, err := parseKind(ks)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sub.Kinds = append(sub.Kinds, k)
+	}
+	s.alerter.Subscribe(sub)
+	writeJSON(w, http.StatusCreated, req)
+}
+
+func (s *Server) handleListSubscriptions(w http.ResponseWriter, r *http.Request) {
+	out := []subscriptionJSON{}
+	for _, sub := range s.alerter.Subscriptions() {
+		j := subscriptionJSON{ID: sub.ID, Doc: sub.DocID, Path: sub.Path, Contains: sub.Contains}
+		if sub.Query != nil {
+			j.Query = sub.Query.String()
+		}
+		for _, k := range sub.Kinds {
+			j.Kinds = append(j.Kinds, k.String())
+		}
+		out = append(out, j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeleteSubscription(w http.ResponseWriter, r *http.Request) {
+	if !s.alerter.Unsubscribe(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such subscription")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+type alertJSON struct {
+	Sub     string `json:"sub"`
+	Doc     string `json:"doc"`
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Path    string `json:"path"`
+	Detail  string `json:"detail"`
+}
+
+func toAlertJSON(a alert.Alert) alertJSON {
+	return alertJSON{
+		Sub: a.SubID, Doc: a.DocID, Version: a.Version,
+		Kind: a.Op.Kind().String(), Path: a.Path, Detail: a.String(),
+	}
+}
+
+// maxFollow bounds how long an alert stream stays open.
+const maxFollow = 5 * time.Minute
+
+// handleGetAlerts serves the recorded alerts for one document; with
+// ?follow=DURATION it instead streams future matches live as
+// newline-delimited JSON through a channel-backed notifier.
+func (s *Server) handleGetAlerts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	follow := r.URL.Query().Get("follow")
+	if follow == "" {
+		out := []alertJSON{}
+		for _, a := range s.alertLog.forDoc(id) {
+			out = append(out, toAlertJSON(a))
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	dur, err := time.ParseDuration(follow)
+	if err != nil || dur <= 0 {
+		writeError(w, http.StatusBadRequest, "follow must be a positive duration, e.g. 30s")
+		return
+	}
+	if dur > maxFollow {
+		dur = maxFollow
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	n := alert.NewChanNotifier(256)
+	s.alerter.Attach(n)
+	defer func() {
+		s.alerter.Detach(n)
+		n.Close()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	deadline := time.NewTimer(dur)
+	defer deadline.Stop()
+	for {
+		select {
+		case a := <-n.C():
+			if a.DocID != id {
+				continue
+			}
+			if err := enc.Encode(toAlertJSON(a)); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-deadline.C:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

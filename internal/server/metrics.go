@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is xydiffd's metrics registry, exposed at /metrics in
+// Prometheus text exposition format. It records HTTP request counts and
+// latency (with quantiles estimated from a fixed-bucket histogram),
+// diff counts with per-phase cumulative timings, queue pressure, and
+// alert throughput. Change statistics proper (per-label rates, delta
+// size ratios) come from the stats.Collector the server also feeds.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	latency  *histogram
+	diffs    int64
+	phases   [5]time.Duration
+	rejected int64
+	alerts   int64
+
+	// gauges polled at scrape time
+	queueDepth    func() int
+	queueCapacity int
+	workers       int
+}
+
+type reqKey struct {
+	route  string
+	method string
+	code   int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[reqKey]int64),
+		latency:  newHistogram(),
+	}
+}
+
+// observeRequest records one served request.
+func (m *Metrics) observeRequest(route, method string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{route, method, code}]++
+	m.latency.observe(dur.Seconds())
+}
+
+// observeDiff records one completed versioning diff's phase timings.
+func (m *Metrics) observeDiff(phases [5]time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.diffs++
+	for i, p := range phases {
+		m.phases[i] += p
+	}
+}
+
+func (m *Metrics) addRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+func (m *Metrics) addAlerts(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.alerts += int64(n)
+}
+
+// DiffCount returns how many versioning diffs have been recorded.
+func (m *Metrics) DiffCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.diffs
+}
+
+var phaseNames = [5]string{"ids", "annotate", "buld", "propagate", "construct"}
+
+// WritePrometheus renders the registry in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP xydiffd_http_requests_total Served HTTP requests.")
+	fmt.Fprintln(w, "# TYPE xydiffd_http_requests_total counter")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.route != b.route {
+			return a.route < b.route
+		}
+		if a.method != b.method {
+			return a.method < b.method
+		}
+		return a.code < b.code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "xydiffd_http_requests_total{route=%q,method=%q,code=\"%d\"} %d\n",
+			k.route, k.method, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP xydiffd_http_request_seconds HTTP request latency.")
+	fmt.Fprintln(w, "# TYPE xydiffd_http_request_seconds histogram")
+	m.latency.writePrometheus(w, "xydiffd_http_request_seconds")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "xydiffd_http_request_seconds{quantile=\"%g\"} %g\n", q, m.latency.quantile(q))
+	}
+
+	fmt.Fprintln(w, "# HELP xydiffd_diffs_total Versioning diffs computed.")
+	fmt.Fprintln(w, "# TYPE xydiffd_diffs_total counter")
+	fmt.Fprintf(w, "xydiffd_diffs_total %d\n", m.diffs)
+	fmt.Fprintln(w, "# HELP xydiffd_diff_phase_seconds_total Cumulative BULD phase time.")
+	fmt.Fprintln(w, "# TYPE xydiffd_diff_phase_seconds_total counter")
+	for i, name := range phaseNames {
+		fmt.Fprintf(w, "xydiffd_diff_phase_seconds_total{phase=%q} %g\n", name, m.phases[i].Seconds())
+	}
+
+	fmt.Fprintln(w, "# HELP xydiffd_queue_depth Diff jobs waiting in the queue.")
+	fmt.Fprintln(w, "# TYPE xydiffd_queue_depth gauge")
+	depth := 0
+	if m.queueDepth != nil {
+		depth = m.queueDepth()
+	}
+	fmt.Fprintf(w, "xydiffd_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "xydiffd_queue_capacity %d\n", m.queueCapacity)
+	fmt.Fprintf(w, "xydiffd_workers %d\n", m.workers)
+	fmt.Fprintln(w, "# HELP xydiffd_queue_rejected_total Requests shed because the queue was full.")
+	fmt.Fprintln(w, "# TYPE xydiffd_queue_rejected_total counter")
+	fmt.Fprintf(w, "xydiffd_queue_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintln(w, "# HELP xydiffd_alerts_total Alerts raised by the subscription system.")
+	fmt.Fprintln(w, "# TYPE xydiffd_alerts_total counter")
+	fmt.Fprintf(w, "xydiffd_alerts_total %d\n", m.alerts)
+}
+
+// histogram is a fixed-bucket latency histogram (seconds). Quantiles
+// are estimated by linear interpolation inside the winning bucket —
+// coarse, but dependency-free and monotone.
+type histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []int64   // len(bounds)+1; last is +Inf
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	// 100µs .. ~100s, roughly 3 buckets per decade.
+	bounds := []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	}
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum int64
+	for i, c := range h.counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *histogram) writePrometheus(w io.Writer, name string) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter captures the response status and size for logs/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers work
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// wrap applies the standard middleware stack: panic recovery, the
+// request deadline, and metrics + structured logging on the way out.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
+	return s.instrument(route, true, h)
+}
+
+// wrapStreaming is wrap without the request deadline, for endpoints
+// that hold the connection open (alert streaming).
+func (s *Server) wrapStreaming(route string, h http.HandlerFunc) http.Handler {
+	return s.instrument(route, false, h)
+}
+
+func (s *Server) instrument(route string, deadline bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		if deadline {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.log.Error("panic", "route", route, "path", r.URL.Path,
+					"panic", rec, "stack", string(debug.Stack()))
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			dur := time.Since(start)
+			s.metrics.observeRequest(route, r.Method, sw.status, dur)
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"dur", dur.Round(time.Microsecond).String(),
+			)
+		}()
+		h(sw, r)
+	})
+}

@@ -1,0 +1,152 @@
+// Package server exposes the Xyleme change-control pipeline — the
+// paper's crawler → repository → diff → delta storage → alerter loop
+// (Figure 1) — as a long-lived HTTP service. Installing a document
+// version computes and stores the completed delta; any past version is
+// reconstructible over HTTP; deltas (single or aggregated) are served
+// as delta-XML; subscriptions raise alerts that can be polled or
+// streamed. The server is production-shaped: diff work runs on a
+// bounded worker pool with explicit backpressure, requests carry
+// deadlines that propagate into the diff phases, and everything is
+// observable through structured logs and a Prometheus /metrics
+// endpoint.
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"xydiff/internal/alert"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/stats"
+	"xydiff/internal/store"
+)
+
+// Config tunes the server. The zero value picks production defaults.
+type Config struct {
+	// Workers is the diff worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; submissions beyond
+	// it are shed with 503 (default 64).
+	QueueDepth int
+	// RequestTimeout bounds one request end to end, diff included
+	// (default 30s). Alert streaming is exempt.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps an uploaded document version (default 16 MiB).
+	MaxBodyBytes int64
+	// AlertLogSize is how many recent alerts are kept per document for
+	// the polling endpoint (default 1024).
+	AlertLogSize int
+	// Logger receives structured request and lifecycle logs (default
+	// slog.Default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.AlertLogSize <= 0 {
+		c.AlertLogSize = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the xydiffd HTTP service over one store.
+type Server struct {
+	cfg       Config
+	store     *store.Store
+	alerter   *alert.Alerter
+	collector *stats.Collector
+	metrics   *Metrics
+	pool      *pool
+	alertLog  *alertLog
+	log       *slog.Logger
+	handler   http.Handler
+	started   time.Time
+}
+
+// New wires a server around st. It installs the store's observer hook,
+// so st must not have another observer; the server should be the only
+// writer-side consumer of the store from here on.
+func New(st *store.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		store:     st,
+		alerter:   alert.New(),
+		collector: stats.NewCollector(),
+		metrics:   newMetrics(),
+		pool:      newPool(cfg.Workers, cfg.QueueDepth),
+		alertLog:  newAlertLog(cfg.AlertLogSize),
+		log:       cfg.Logger,
+		started:   time.Now(),
+	}
+	s.metrics.queueDepth = s.pool.depth
+	s.metrics.queueCapacity = cfg.QueueDepth
+	s.metrics.workers = cfg.Workers
+	st.SetObserver(s.observe)
+	s.handler = s.routes()
+	return s
+}
+
+// Handler returns the fully middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Alerter exposes the subscription system (for callers wiring their
+// own sinks alongside the HTTP endpoints).
+func (s *Server) Alerter() *alert.Alerter { return s.alerter }
+
+// Metrics exposes the registry (used by tests and the daemon).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the diff worker pool: queued jobs run to completion and
+// new submissions fail with ErrClosed. Call after the HTTP listener has
+// stopped accepting requests.
+func (s *Server) Close() { s.pool.close() }
+
+// observe is the store's observer hook: it runs under the document's
+// write lock, in version order, once per successful versioning diff.
+func (s *Server) observe(id string, version int, oldDoc, newDoc *dom.Node, r *diff.Result) {
+	s.metrics.observeDiff([5]time.Duration{
+		r.Timings.Phase1, r.Timings.Phase2, r.Timings.Phase3, r.Timings.Phase4, r.Timings.Phase5,
+	})
+	s.collector.Observe(oldDoc, newDoc, r.Delta)
+	alerts := s.alerter.Notify(id, version, oldDoc, newDoc, r.Delta)
+	if len(alerts) > 0 {
+		s.alertLog.add(alerts)
+		s.metrics.addAlerts(len(alerts))
+	}
+}
+
+// routes builds the endpoint table. Route names double as the metrics
+// route label.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	mux.Handle("GET /docs", s.wrap("docs_list", s.handleListDocs))
+	mux.Handle("PUT /docs/{id}", s.wrap("doc_put", s.handlePutDoc))
+	mux.Handle("GET /docs/{id}", s.wrap("doc_latest", s.handleGetLatest))
+	mux.Handle("GET /docs/{id}/versions/{n}", s.wrap("doc_version", s.handleGetVersion))
+	mux.Handle("GET /docs/{id}/deltas/{spec}", s.wrap("doc_delta", s.handleGetDelta))
+	mux.Handle("GET /docs/{id}/alerts", s.wrapStreaming("doc_alerts", s.handleGetAlerts))
+	mux.Handle("POST /subscriptions", s.wrap("sub_create", s.handleCreateSubscription))
+	mux.Handle("GET /subscriptions", s.wrap("sub_list", s.handleListSubscriptions))
+	mux.Handle("DELETE /subscriptions/{id}", s.wrap("sub_delete", s.handleDeleteSubscription))
+	return mux
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+// TestConcurrentSameDoc hammers one document ID from many goroutines:
+// writers race Put while readers race Version, Delta, Latest, Versions
+// and IDs against them. Run under -race; the invariant checked is that
+// every observed version reconstructs to a well-formed catalog whose
+// item count equals the version's payload.
+func TestConcurrentSameDoc(t *testing.T) {
+	s := New(diff.Options{})
+	const id = "hot/doc"
+	const writers = 8
+	const putsPerWriter = 5
+	const readers = 8
+
+	makeDoc := func(items int) *dom.Node {
+		doc := dom.NewDocument()
+		root := dom.NewElement("catalog")
+		root.SetAttribute("items", fmt.Sprint(items))
+		for k := 0; k < items; k++ {
+			p := dom.NewElement("product")
+			p.Append(dom.NewText(fmt.Sprintf("item-%d", k)))
+			root.Append(p)
+		}
+		doc.Append(root)
+		return doc
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := s.Versions(id)
+				if n == 0 {
+					continue
+				}
+				for v := 1; v <= n; v++ {
+					doc, err := s.Version(id, v)
+					if err != nil {
+						t.Errorf("version %d of %d: %v", v, n, err)
+						return
+					}
+					root := doc.Root()
+					want := root.Children
+					if got, _ := root.Attribute("items"); got != fmt.Sprint(len(want)) {
+						t.Errorf("version %d: items=%s but %d children", v, got, len(want))
+						return
+					}
+				}
+				for v := 1; v < n; v++ {
+					if _, err := s.Delta(id, v); err != nil {
+						t.Errorf("delta %d of %d: %v", v, n, err)
+						return
+					}
+				}
+				if _, _, err := s.Latest(id); err != nil {
+					t.Errorf("latest: %v", err)
+					return
+				}
+				s.IDs()
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for p := 0; p < putsPerWriter; p++ {
+				if _, _, err := s.Put(id, makeDoc(1+(w*putsPerWriter+p)%13)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := s.Versions(id); got != writers*putsPerWriter {
+		t.Fatalf("versions = %d, want %d", got, writers*putsPerWriter)
+	}
+}
+
+// TestConcurrentPutDistinctDocs verifies that writes to different
+// documents proceed in parallel without corrupting the map or each
+// other's histories.
+func TestConcurrentPutDistinctDocs(t *testing.T) {
+	s := New(diff.Options{})
+	var wg sync.WaitGroup
+	const docs = 16
+	for d := 0; d < docs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			id := fmt.Sprintf("doc-%d", d)
+			for v := 1; v <= 4; v++ {
+				doc := dom.NewDocument()
+				root := dom.NewElement("r")
+				for k := 0; k < v; k++ {
+					root.Append(dom.NewElement("e"))
+				}
+				doc.Append(root)
+				if _, _, err := s.Put(id, doc); err != nil {
+					t.Errorf("%s: %v", id, err)
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	if got := len(s.IDs()); got != docs {
+		t.Fatalf("ids = %d, want %d", got, docs)
+	}
+	for _, id := range s.IDs() {
+		if got := s.Versions(id); got != 4 {
+			t.Errorf("%s versions = %d, want 4", id, got)
+		}
+	}
+}

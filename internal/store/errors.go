@@ -1,0 +1,14 @@
+package store
+
+import "errors"
+
+// Sentinel errors callers (notably the HTTP server) can test with
+// errors.Is to distinguish "not found" from internal failures.
+var (
+	// ErrUnknownDocument reports that no document with the given
+	// identifier is stored.
+	ErrUnknownDocument = errors.New("unknown document")
+	// ErrNoSuchVersion reports a version or delta index outside the
+	// stored range.
+	ErrNoSuchVersion = errors.New("no such version")
+)

@@ -8,7 +8,9 @@
 package store
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -22,16 +24,28 @@ import (
 	"xydiff/internal/xid"
 )
 
+// Observer receives the detailed result of every successful non-initial
+// Put: the version number the delta produced, the store's previous and
+// new latest documents, and the diff result (delta plus phase timings).
+// It is invoked synchronously under the document's lock, so per-document
+// call order matches version order; it must not call back into the
+// store for the same document and must not retain or mutate the
+// document trees past its return.
+type Observer func(id string, version int, oldDoc, newDoc *dom.Node, r *diff.Result)
+
 // Store is an in-memory versioned XML repository. All methods are safe
-// for concurrent use.
+// for concurrent use; writes to different documents diff in parallel,
+// writes to the same document serialize on its history lock.
 type Store struct {
 	opts diff.Options
+	obs  Observer
 
-	mu   sync.RWMutex
+	mu   sync.RWMutex // guards the docs map only, never document contents
 	docs map[string]*history
 }
 
 type history struct {
+	mu       sync.RWMutex
 	latest   *dom.Node      // current version, XIDs assigned
 	deltas   []*delta.Delta // deltas[i] transforms version i+1 into version i+2
 	versions int
@@ -42,61 +56,117 @@ func New(opts diff.Options) *Store {
 	return &Store{opts: opts, docs: make(map[string]*history)}
 }
 
+// SetObserver installs the hook called after every versioning diff.
+// It must be set before the store starts serving concurrent Puts.
+func (s *Store) SetObserver(obs Observer) { s.obs = obs }
+
+// get returns the history for id, or nil.
+func (s *Store) get(id string) *history {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docs[id]
+}
+
 // Put installs a new version of the document identified by id and
 // returns its version number (1-based) and the delta from the previous
 // version (nil for the first). The store keeps its own copy of doc.
 func (s *Store) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
+	return s.PutContext(context.Background(), id, doc)
+}
+
+// PutContext is Put honouring context cancellation: the diff against
+// the previous version aborts with ctx.Err() once ctx is done, leaving
+// the stored history untouched.
+func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error) {
 	if doc == nil || doc.Type != dom.Document {
 		return 0, nil, fmt.Errorf("store: need a Document node")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	h := s.docs[id]
 	if h == nil {
+		h = &history{}
+		s.docs[id] = h
+	}
+	s.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.versions == 0 {
 		first := doc.Clone()
 		xid.Assign(first)
-		s.docs[id] = &history{latest: first, versions: 1}
+		h.latest = first
+		h.versions = 1
 		return 1, nil, nil
 	}
 	next := doc.Clone()
-	d, err := diff.Diff(h.latest, next, s.opts)
+	r, err := diff.DiffDetailedContext(ctx, h.latest, next, s.opts)
 	if err != nil {
 		return 0, nil, fmt.Errorf("store: diff %s: %w", id, err)
 	}
-	h.deltas = append(h.deltas, d)
+	old := h.latest
+	h.deltas = append(h.deltas, r.Delta)
 	h.latest = next
 	h.versions++
-	return h.versions, d, nil
+	if s.obs != nil {
+		s.obs(id, h.versions, old, next, r)
+	}
+	return h.versions, r.Delta, nil
+}
+
+// reading returns id's history read-locked, or an error when the
+// document is unknown (a history published by a first Put still in
+// flight counts as unknown). The caller must RUnlock it.
+func (s *Store) reading(id string) (*history, error) {
+	h := s.get(id)
+	if h == nil {
+		return nil, fmt.Errorf("store: %w %q", ErrUnknownDocument, id)
+	}
+	h.mu.RLock()
+	if h.versions == 0 {
+		h.mu.RUnlock()
+		return nil, fmt.Errorf("store: %w %q", ErrUnknownDocument, id)
+	}
+	return h, nil
 }
 
 // Latest returns a copy of the current version and its version number.
 func (s *Store) Latest(id string) (*dom.Node, int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, 0, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, 0, err
 	}
+	defer h.mu.RUnlock()
 	return h.latest.Clone(), h.versions, nil
 }
 
 // Versions returns how many versions of id are recorded (0 if none).
 func (s *Store) Versions(id string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if h := s.docs[id]; h != nil {
-		return h.versions
+	h := s.get(id)
+	if h == nil {
+		return 0
 	}
-	return 0
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.versions
 }
 
-// IDs lists the stored document identifiers, sorted.
+// IDs lists the stored document identifiers, sorted. Documents whose
+// first Put is still in flight are omitted.
 func (s *Store) IDs() []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.docs))
-	for id := range s.docs {
-		out = append(out, id)
+	hs := make(map[string]*history, len(s.docs))
+	for id, h := range s.docs {
+		hs[id] = h
+	}
+	s.mu.RUnlock()
+	out := make([]string, 0, len(hs))
+	for id, h := range hs {
+		h.mu.RLock()
+		ok := h.versions > 0
+		h.mu.RUnlock()
+		if ok {
+			out = append(out, id)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -107,14 +177,13 @@ func (s *Store) IDs() []string {
 // "reconstruct any version of the document given another version and
 // the corresponding delta".
 func (s *Store) Version(id string, n int) (*dom.Node, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, err
 	}
+	defer h.mu.RUnlock()
 	if n < 1 || n > h.versions {
-		return nil, fmt.Errorf("store: %s has versions 1..%d, not %d", id, h.versions, n)
+		return nil, fmt.Errorf("store: %s has versions 1..%d, not %d: %w", id, h.versions, n, ErrNoSuchVersion)
 	}
 	doc := h.latest.Clone()
 	for v := h.versions; v > n; v-- {
@@ -127,14 +196,13 @@ func (s *Store) Version(id string, n int) (*dom.Node, error) {
 
 // Delta returns the stored delta that transforms version n into n+1.
 func (s *Store) Delta(id string, n int) (*delta.Delta, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, err
 	}
+	defer h.mu.RUnlock()
 	if n < 1 || n >= h.versions {
-		return nil, fmt.Errorf("store: %s has deltas 1..%d, not %d", id, h.versions-1, n)
+		return nil, fmt.Errorf("store: %s has deltas 1..%d, not %d: %w", id, h.versions-1, n, ErrNoSuchVersion)
 	}
 	return h.deltas[n-1], nil
 }
@@ -143,14 +211,13 @@ func (s *Store) Delta(id string, n int) (*delta.Delta, error) {
 // into version to. When from > to, the deltas are inverted and
 // returned in reverse order, so applying them in order still works.
 func (s *Store) DeltasBetween(id string, from, to int) ([]*delta.Delta, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, err
 	}
+	defer h.mu.RUnlock()
 	if from < 1 || from > h.versions || to < 1 || to > h.versions {
-		return nil, fmt.Errorf("store: version range %d..%d outside 1..%d", from, to, h.versions)
+		return nil, fmt.Errorf("store: version range %d..%d outside 1..%d: %w", from, to, h.versions, ErrNoSuchVersion)
 	}
 	var out []*delta.Delta
 	switch {
@@ -175,47 +242,84 @@ func (s *Store) DeltasBetween(id string, from, to int) ([]*delta.Delta, error) {
 //
 // XIDs of the latest version are rebuilt on load by replaying deltas
 // from version 1, whose XIDs are canonical post-order.
+//
+// Every file is written to a temporary name in the same directory and
+// renamed into place, and the version counter is renamed last: a save
+// interrupted at any point leaves either the previous consistent state
+// or the new one, never a half-written file the counter points at.
 
 // Save writes the whole store under dir.
 func (s *Store) Save(dir string) error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	hs := make(map[string]*history, len(s.docs))
 	for id, h := range s.docs {
-		sub := filepath.Join(dir, escapeID(id))
-		if err := os.MkdirAll(sub, 0o755); err != nil {
+		hs[id] = h
+	}
+	s.mu.RUnlock()
+	for id, h := range hs {
+		if err := saveHistory(dir, id, h); err != nil {
 			return err
-		}
-		// Persist version 1 (canonical XIDs) plus all deltas; the
-		// latest version is recomputable, but store it too so readers
-		// can grab it without replay.
-		v1, err := s.versionLocked(h, 1)
-		if err != nil {
-			return err
-		}
-		if err := dom.WriteFile(filepath.Join(sub, "v1.xml"), v1); err != nil {
-			return err
-		}
-		if err := dom.WriteFile(filepath.Join(sub, "latest.xml"), h.latest); err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(sub, "versions"), []byte(strconv.Itoa(h.versions)), 0o644); err != nil {
-			return err
-		}
-		for i, d := range h.deltas {
-			f, err := os.Create(filepath.Join(sub, deltaFile(i+1)))
-			if err != nil {
-				return err
-			}
-			if _, err := d.WriteTo(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
 		}
 	}
 	return nil
+}
+
+func saveHistory(dir, id string, h *history) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.versions == 0 {
+		return nil // first Put still in flight
+	}
+	sub := filepath.Join(dir, escapeID(id))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return err
+	}
+	// Persist version 1 (canonical XIDs) plus all deltas; the latest
+	// version is recomputable, but store it too so readers can grab it
+	// without replay.
+	v1, err := versionLocked(h, 1)
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(sub, "v1.xml"), v1.WriteTo); err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(sub, "latest.xml"), h.latest.WriteTo); err != nil {
+		return err
+	}
+	for i, d := range h.deltas {
+		if err := writeAtomic(filepath.Join(sub, deltaFile(i+1)), d.WriteTo); err != nil {
+			return err
+		}
+	}
+	counter := func(w io.Writer) (int64, error) {
+		n, err := io.WriteString(w, strconv.Itoa(h.versions))
+		return int64(n), err
+	}
+	return writeAtomic(filepath.Join(sub, "versions"), counter)
+}
+
+// writeAtomic writes via a temporary file in path's directory, syncs,
+// and renames into place, so path is never observed half-written.
+func writeAtomic(path string, write func(io.Writer) (int64, error)) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op once renamed
+	if _, err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Load reads a store previously written by Save.
@@ -266,7 +370,8 @@ func Load(dir string, opts diff.Options) (*Store, error) {
 	return s, nil
 }
 
-func (s *Store) versionLocked(h *history, n int) (*dom.Node, error) {
+// versionLocked reconstructs version n; the caller holds h's lock.
+func versionLocked(h *history, n int) (*dom.Node, error) {
 	doc := h.latest.Clone()
 	for v := h.versions; v > n; v-- {
 		if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {

@@ -46,12 +46,11 @@ type VersionValue struct {
 // of time. Versions are reconstructed incrementally (one delta apply
 // per step), not from scratch per version.
 func (s *Store) Timeline(id string, expr *xpathlite.Expr) ([]VersionValue, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, err
 	}
+	defer h.mu.RUnlock()
 	// Walk backward from the latest version, prepending results.
 	out := make([]VersionValue, h.versions)
 	doc := h.latest.Clone()
@@ -84,12 +83,11 @@ type NodeState struct {
 // This is the paper's core use of XIDs — following "parts of an XML
 // document through time", including across moves.
 func (s *Store) NodeHistory(id string, xid int64) ([]NodeState, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, err
 	}
+	defer h.mu.RUnlock()
 	out := make([]NodeState, h.versions)
 	doc := h.latest.Clone()
 	for v := h.versions; v >= 1; v-- {
@@ -126,14 +124,13 @@ type ChangeHit struct {
 // in a catalog" is ChangesMatching(id, v, latest, //Product, KindInsert).
 // An empty kinds list selects every operation kind.
 func (s *Store) ChangesMatching(id string, from, to int, pattern *xpathlite.Expr, kinds ...delta.Kind) ([]ChangeHit, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.docs[id]
-	if h == nil {
-		return nil, fmt.Errorf("store: unknown document %q", id)
+	h, err := s.reading(id)
+	if err != nil {
+		return nil, err
 	}
+	defer h.mu.RUnlock()
 	if from < 1 || to > h.versions || from >= to {
-		return nil, fmt.Errorf("store: bad version range %d..%d (have 1..%d)", from, to, h.versions)
+		return nil, fmt.Errorf("store: bad version range %d..%d (have 1..%d): %w", from, to, h.versions, ErrNoSuchVersion)
 	}
 	kindOK := func(k delta.Kind) bool {
 		if len(kinds) == 0 {
@@ -148,7 +145,7 @@ func (s *Store) ChangesMatching(id string, from, to int, pattern *xpathlite.Expr
 	}
 	// Reconstruct version `from`, then replay forward, inspecting each
 	// delta against the version before and after it.
-	doc, err := s.versionLocked(h, from)
+	doc, err := versionLocked(h, from)
 	if err != nil {
 		return nil, err
 	}
