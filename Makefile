@@ -2,9 +2,9 @@
 # should pass locally before review.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench server
+.PHONY: check fmt vet build test race bench fuzz-smoke server
 
-check: fmt vet build race
+check: fmt vet build race fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,6 +24,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Smoke-run every fuzzer briefly: ~10s each, no corpus growth kept.
+# Go runs one fuzz target per invocation, hence one line per fuzzer.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/htmlize -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xpathlite -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME)
 
 # Run the change-control daemon locally (data in ./xydiffd-data).
 server:

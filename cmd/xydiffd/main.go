@@ -16,10 +16,19 @@
 //	-queue   queued diffs before requests are shed with 503 (default 64)
 //	-timeout per-request deadline, diff included (default 30s)
 //	-max-body largest accepted document version in bytes (default 16 MiB)
+//	-journal-sync journal fsync policy: always, interval or off
+//	         (default always)
+//	-journal-sync-interval flush period under -journal-sync=interval
+//	         (default 100ms)
 //
-// On SIGINT/SIGTERM the daemon stops accepting requests, lets in-flight
-// diffs finish, and flushes the store to -dir with crash-safe renames,
-// so a restarted daemon serves every stored version.
+// Every PUT is journaled to -dir before it is acknowledged; under
+// -journal-sync=always an acknowledged version survives even kill -9
+// or power loss. Startup replays the journals on top of the last
+// snapshot (truncating torn tails, refusing corruption with an error
+// that names the file and offset). On SIGINT/SIGTERM the daemon stops
+// accepting requests, lets in-flight diffs finish, checkpoints the
+// store to -dir with crash-safe renames and retires the replayed
+// journals, so a restarted daemon serves every stored version.
 package main
 
 import (
@@ -41,10 +50,12 @@ import (
 )
 
 type config struct {
-	addr   string
-	dir    string
-	server server.Config
-	logger *slog.Logger
+	addr         string
+	dir          string
+	journalSync  string
+	syncInterval time.Duration
+	server       server.Config
+	logger       *slog.Logger
 }
 
 func main() {
@@ -55,6 +66,8 @@ func main() {
 	flag.IntVar(&cfg.server.QueueDepth, "queue", 0, "max queued diffs before shedding (0 = default 64)")
 	flag.DurationVar(&cfg.server.RequestTimeout, "timeout", 0, "per-request `deadline` (0 = default 30s)")
 	flag.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "max document `bytes` per PUT (0 = default 16MiB)")
+	flag.StringVar(&cfg.journalSync, "journal-sync", "always", "journal fsync `policy`: always, interval or off")
+	flag.DurationVar(&cfg.syncInterval, "journal-sync-interval", 100*time.Millisecond, "flush `period` under -journal-sync=interval")
 	flag.Parse()
 	cfg.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg.server.Logger = cfg.logger
@@ -73,10 +86,21 @@ func main() {
 // with the bound address once the listener accepts connections (tests
 // pass -addr 127.0.0.1:0 and dial what they get back).
 func run(ctx context.Context, cfg config, ready func(addr string)) error {
-	st, err := loadOrEmpty(cfg.dir)
+	if cfg.journalSync == "" {
+		cfg.journalSync = "always"
+	}
+	policy, err := store.ParseSyncPolicy(cfg.journalSync)
 	if err != nil {
 		return err
 	}
+	st, err := store.Open(cfg.dir, diff.Options{}, store.Durability{
+		Sync:     policy,
+		Interval: cfg.syncInterval,
+	})
+	if err != nil {
+		return err
+	}
+	rec := st.RecoveryStats()
 	srv := server.New(st, cfg.server)
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -92,7 +116,11 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	go func() { errc <- hs.Serve(ln) }()
 	cfg.logger.Info("xydiffd listening",
 		"addr", ln.Addr().String(), "dir", cfg.dir,
-		"documents", len(st.IDs()))
+		"documents", len(st.IDs()),
+		"journalSync", policy.String(),
+		"snapshotVersions", rec.SnapshotVersions,
+		"journalRecords", rec.JournalRecords,
+		"tornTails", rec.TornTails)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -112,17 +140,13 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cfg.logger.Error("serve", "err", err)
 	}
-	srv.Close() // drain queued diffs so the save below sees them all
-	if err := st.Save(cfg.dir); err != nil {
-		return fmt.Errorf("flushing store: %w", err)
+	srv.Close() // drain queued diffs so the checkpoint below sees them all
+	if err := st.Checkpoint(); err != nil {
+		return fmt.Errorf("checkpointing store: %w", err)
 	}
-	cfg.logger.Info("store flushed", "dir", cfg.dir, "documents", len(st.IDs()))
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("closing store: %w", err)
+	}
+	cfg.logger.Info("store checkpointed", "dir", cfg.dir, "documents", len(st.IDs()))
 	return nil
-}
-
-func loadOrEmpty(dir string) (*store.Store, error) {
-	if _, err := os.Stat(dir); os.IsNotExist(err) {
-		return store.New(diff.Options{}), nil
-	}
-	return store.Load(dir, diff.Options{})
 }

@@ -1,16 +1,22 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"io"
 	"log/slog"
 	"net/http"
+	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"xydiff/internal/diff"
 	"xydiff/internal/server"
+	"xydiff/internal/store"
 )
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
@@ -120,4 +126,105 @@ func TestShutdownWithoutTraffic(t *testing.T) {
 	_, shutdown, done := startDaemon(t, dir)
 	shutdown()
 	waitExit(t, done)
+}
+
+var listenAddrRe = regexp.MustCompile(`msg="xydiffd listening" addr=(\S+)`)
+
+// TestKillNineLosesNoAcknowledgedPut is the durability acceptance test:
+// a real xydiffd process under -journal-sync=always is killed with
+// SIGKILL (no shutdown, no checkpoint) and every PUT it acknowledged
+// must reconstruct from the journal alone.
+func TestKillNineLosesNoAcknowledgedPut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a subprocess")
+	}
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "data")
+	bin := filepath.Join(tmp, "xydiffd.test.bin")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build daemon: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-journal-sync", "always")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenAddrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var url string
+	select {
+	case a := <-addrc:
+		url = "http://" + a
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never reported its address")
+	}
+
+	// Acknowledge a handful of versions across two documents, recording
+	// exactly what the live daemon serves for each.
+	versions := []string{
+		`<Catalog><Product><Name>tx123</Name></Product></Catalog>`,
+		`<Catalog><Product><Name>tx123</Name></Product><Product><Name>zy456</Name></Product></Catalog>`,
+		`<Catalog><Product><Name>zy456</Name><Price>$450</Price></Product></Catalog>`,
+	}
+	for _, v := range versions {
+		put(t, url, "catalog", v)
+	}
+	put(t, url, "other", `<r><p>solo</p></r>`)
+	served := make([]string, len(versions))
+	for i := range versions {
+		code, body := get(t, url+"/docs/catalog/versions/"+strconv.Itoa(i+1))
+		if code != 200 {
+			t.Fatalf("version %d before kill: %d %s", i+1, code, body)
+		}
+		served[i] = body
+	}
+
+	// No quarter: the process dies between one instruction and the next.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Everything acknowledged must come back from the journal alone (no
+	// checkpoint ever ran).
+	st, err := store.Open(dir, diff.Options{}, store.Durability{Sync: store.SyncOff})
+	if err != nil {
+		t.Fatalf("reopen after SIGKILL: %v", err)
+	}
+	defer st.Close()
+	if got := st.Versions("catalog"); got != len(versions) {
+		t.Fatalf("catalog has %d versions after SIGKILL, want %d", got, len(versions))
+	}
+	for i, want := range served {
+		doc, err := st.Version("catalog", i+1)
+		if err != nil {
+			t.Fatalf("reconstruct version %d: %v", i+1, err)
+		}
+		if got := doc.String(); got != want {
+			t.Errorf("version %d differs after SIGKILL:\n got %q\nwant %q", i+1, got, want)
+		}
+	}
+	if got := st.Versions("other"); got != 1 {
+		t.Errorf("other has %d versions, want 1", got)
+	}
+	rec := st.RecoveryStats()
+	if rec.JournalRecords != len(versions)+1 {
+		t.Errorf("replayed %d journal records, want %d", rec.JournalRecords, len(versions)+1)
+	}
 }

@@ -70,7 +70,9 @@ func run(docPath, deltaPath, outPath string, reverse bool) error {
 		return err
 	}
 	if reverse {
-		d = d.Invert()
+		if d, err = d.Invert(); err != nil {
+			return err
+		}
 	}
 	if err := delta.Apply(doc, d); err != nil {
 		return err

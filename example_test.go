@@ -38,7 +38,8 @@ func ExampleDelta_Invert() {
 		log.Fatal(err)
 	}
 	forward, _ := xydiff.ApplyClone(v1, d)
-	backward, _ := xydiff.ApplyClone(forward, d.Invert())
+	inv, _ := d.Invert()
+	backward, _ := xydiff.ApplyClone(forward, inv)
 	fmt.Println(xydiff.Equal(forward, v2), xydiff.Equal(backward, v1))
 	// Output: true true
 }

@@ -67,7 +67,11 @@ func main() {
 	fmt.Println("\napply(old, delta) == new:", xydiff.Equal(v2, newDoc))
 
 	// ...and backward: completed deltas are invertible.
-	v1, err := xydiff.ApplyClone(v2, d.Invert())
+	inv, err := d.Invert()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := xydiff.ApplyClone(v2, inv)
 	if err != nil {
 		log.Fatal(err)
 	}

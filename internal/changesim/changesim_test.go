@@ -27,9 +27,13 @@ func TestSimulatePerfectDeltaTransformsOldIntoNew(t *testing.T) {
 				trial, dom.Diagnose(got, res.New))
 		}
 		// And inverse reconstructs the old version.
-		back, err := delta.ApplyClone(res.New, res.Perfect.Invert())
+		inv, err := res.Perfect.Invert()
 		if err != nil {
 			t.Fatalf("trial %d invert: %v", trial, err)
+		}
+		back, err := delta.ApplyClone(res.New, inv)
+		if err != nil {
+			t.Fatalf("trial %d apply inverse: %v", trial, err)
 		}
 		if !dom.Equal(back, doc) {
 			t.Fatalf("trial %d: inverse of perfect delta broken: %s", trial, dom.Diagnose(back, doc))

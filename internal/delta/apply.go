@@ -26,7 +26,17 @@ import (
 //
 // On error the document may be partially modified; callers that need
 // atomicity should apply to a clone (see ApplyClone).
-func Apply(doc *dom.Node, d *Delta) error {
+//
+// Apply never panics: deltas arrive from untrusted storage and the
+// network, so beyond the explicit validation below any residual panic
+// (e.g. an out-of-range tree mutation a corrupt delta slips past the
+// checks) is converted into an error.
+func Apply(doc *dom.Node, d *Delta) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("delta: apply: internal panic on corrupt delta: %v", r)
+		}
+	}()
 	if d.Empty() {
 		return nil
 	}

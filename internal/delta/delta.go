@@ -60,14 +60,19 @@ func (d *Delta) Count() Counts {
 
 // Invert returns the delta that transforms the new version back into
 // the old one: completed deltas carry enough information (deleted
-// content, old values) for this to be purely syntactic.
-func (d *Delta) Invert() *Delta {
+// content, old values) for this to be purely syntactic. It errors on
+// an operation type the package does not know instead of panicking.
+func (d *Delta) Invert() (*Delta, error) {
 	inv := &Delta{Ops: make([]Op, len(d.Ops)), NextXID: d.NextXID}
 	for i, op := range d.Ops {
-		inv.Ops[i] = invert(op)
+		io, err := invert(op)
+		if err != nil {
+			return nil, err
+		}
+		inv.Ops[i] = io
 	}
 	inv.sort()
-	return inv
+	return inv, nil
 }
 
 // sort puts operations in the canonical order used for serialization:

@@ -14,6 +14,15 @@ import (
 //	Title text=1 Title=2, Name text=3 Name=4, Price text=5 Price=6,
 //	Product=7, Discount=8, Name text=9 Name=10, Price text=11 Price=12,
 //	Product=13, NewProducts=14, Category=15, #document=16.
+
+func mustInvert(t *testing.T, d *Delta) *Delta {
+	t.Helper()
+	inv, err := d.Invert()
+	if err != nil {
+		t.Fatalf("invert: %v", err)
+	}
+	return inv
+}
 func buildCatalog(t *testing.T) *dom.Node {
 	t.Helper()
 	doc, err := dom.ParseString(`<Category><Title>Digital Cameras</Title><Discount><Product><Name>tx123</Name><Price>$499</Price></Product></Discount><NewProducts><Product><Name>zy456</Name><Price>$799</Price></Product></NewProducts></Category>`)
@@ -98,7 +107,7 @@ func TestInvertRoundTrip(t *testing.T) {
 	if err := Apply(doc, d); err != nil {
 		t.Fatal(err)
 	}
-	if err := Apply(doc, d.Invert()); err != nil {
+	if err := Apply(doc, mustInvert(t, d)); err != nil {
 		t.Fatalf("apply inverse: %v", err)
 	}
 	if !dom.Equal(doc, original) {
@@ -189,7 +198,7 @@ func TestAttributeOps(t *testing.T) {
 	if _, ok := dom.FindByXID(doc, 2).Attribute("x"); ok {
 		t.Error("delete-attribute failed")
 	}
-	if err := Apply(doc, d.Invert()); err != nil {
+	if err := Apply(doc, mustInvert(t, d)); err != nil {
 		t.Fatal(err)
 	}
 	if !dom.Equal(doc, original) {
@@ -215,7 +224,7 @@ func TestMoveIntoInsertedSubtree(t *testing.T) {
 	}
 	// And back.
 	orig, _ := dom.ParseString(`<r><keep/><mv/></r>`)
-	if err := Apply(doc, d.Invert()); err != nil {
+	if err := Apply(doc, mustInvert(t, d)); err != nil {
 		t.Fatal(err)
 	}
 	if !dom.Equal(doc, orig) {
@@ -241,7 +250,7 @@ func TestMoveOutOfDeletedSubtree(t *testing.T) {
 		t.Fatalf("got %s", doc)
 	}
 	orig, _ := dom.ParseString(`<r><del><survivor/></del><anchor/></r>`)
-	if err := Apply(doc, d.Invert()); err != nil {
+	if err := Apply(doc, mustInvert(t, d)); err != nil {
 		t.Fatal(err)
 	}
 	if !dom.Equal(doc, orig) {

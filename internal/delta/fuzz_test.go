@@ -36,7 +36,15 @@ func FuzzParse(f *testing.F) {
 		if string(text) != string(text2) {
 			t.Fatalf("unstable serialization:\n%s\nvs\n%s", text, text2)
 		}
-		twice, _ := d.Invert().Invert().MarshalText()
+		once, err := d.Invert()
+		if err != nil {
+			t.Fatalf("invert parsed delta: %v", err)
+		}
+		again, err := once.Invert()
+		if err != nil {
+			t.Fatalf("invert inverted delta: %v", err)
+		}
+		twice, _ := again.MarshalText()
 		if string(twice) != string(text) {
 			t.Fatalf("double inversion changed delta:\n%s\nvs\n%s", text, twice)
 		}

@@ -1,0 +1,83 @@
+package delta_test
+
+// FuzzApply lives outside package delta so it can use the diff package
+// to generate realistic delta seeds without an import cycle.
+
+import (
+	"strings"
+	"testing"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/xid"
+)
+
+// FuzzApply: applying an arbitrary (possibly hostile) delta document to
+// a document must either succeed or return an error — never panic and
+// never corrupt the tree into something that cannot serialize. This is
+// the hardened path the server walks when replaying journals or serving
+// patch requests over untrusted data.
+func FuzzApply(f *testing.F) {
+	const baseXML = `<Catalog><Product><Name>tx123</Name><Price>$300</Price></Product>` +
+		`<Product><Name>zy456</Name></Product></Catalog>`
+
+	// Realistic seeds: genuine deltas produced by the diff between the
+	// base and a few edits of it.
+	variants := []string{
+		`<Catalog><Product><Name>tx123</Name><Price>$450</Price></Product></Catalog>`,
+		`<Catalog><Product><Name>zy456</Name></Product><Product><Name>tx123</Name><Price>$300</Price></Product></Catalog>`,
+		`<Catalog><Product keep="y"><Name>tx123</Name></Product><New/></Catalog>`,
+	}
+	for _, v := range variants {
+		oldDoc, err := dom.ParseString(baseXML)
+		if err != nil {
+			f.Fatal(err)
+		}
+		xid.Assign(oldDoc)
+		newDoc, err := dom.ParseString(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		d, err := diff.Diff(oldDoc, newDoc, diff.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		text, err := d.MarshalText()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(text))
+	}
+	// Hostile seeds: structurally plausible but wrong or out of range.
+	for _, s := range []string{
+		`<delta><insert parent="999" pos="0" xid="50" xidmap="(50)"><e/></insert></delta>`,
+		`<delta><delete parent="1" pos="40" xid="2" xidmap="(2)"><x/></delete></delta>`,
+		`<delta><move from-parent="1" from-pos="0" to-parent="1" to-pos="99" xid="1"/></delta>`,
+		`<delta><update xid="7"><old>nope</old><new>yep</new></update></delta>`,
+		`<delta><insert parent="3" pos="-1" xid="50" xidmap="(50)"><e/></insert></delta>`,
+		`<delta><insert-attribute name="a" value="v" xid="3"/><delete-attribute name="a" value="v" xid="3"/></delta>`,
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, deltaXML string) {
+		d, err := delta.Parse(strings.NewReader(deltaXML))
+		if err != nil {
+			return // not a delta document; nothing to apply
+		}
+		doc, err := dom.ParseString(baseXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xid.Assign(doc)
+		patched, err := delta.ApplyClone(doc, d)
+		if err != nil {
+			return // rejecting a hostile delta is correct
+		}
+		// A delta the engine accepted must leave a serializable tree.
+		if s := patched.String(); s == "" && len(patched.Children) > 0 {
+			t.Fatalf("accepted delta produced unserializable tree")
+		}
+	})
+}

@@ -177,28 +177,31 @@ func (UpdateAttr) Kind() Kind { return KindUpdateAttr }
 // TargetXID implements Op.
 func (o UpdateAttr) TargetXID() int64 { return o.XID }
 
-// invert returns the op that undoes o.
-func invert(o Op) Op {
+// invert returns the op that undoes o. An op type this package does
+// not know (a foreign Op implementation, or a corrupt in-memory delta)
+// is an error, not a panic: deltas flow in from untrusted storage and
+// the network, and the daemon must never die on one.
+func invert(o Op) (Op, error) {
 	switch op := o.(type) {
 	case Insert:
-		return Delete(op)
+		return Delete(op), nil
 	case Delete:
-		return Insert(op)
+		return Insert(op), nil
 	case Update:
-		return Update{XID: op.XID, Old: op.New, New: op.Old}
+		return Update{XID: op.XID, Old: op.New, New: op.Old}, nil
 	case Move:
 		return Move{
 			XID:        op.XID,
 			FromParent: op.ToParent, FromPos: op.ToPos,
 			ToParent: op.FromParent, ToPos: op.FromPos,
-		}
+		}, nil
 	case InsertAttr:
-		return DeleteAttr{XID: op.XID, Name: op.Name, Old: op.Value}
+		return DeleteAttr{XID: op.XID, Name: op.Name, Old: op.Value}, nil
 	case DeleteAttr:
-		return InsertAttr{XID: op.XID, Name: op.Name, Value: op.Old}
+		return InsertAttr{XID: op.XID, Name: op.Name, Value: op.Old}, nil
 	case UpdateAttr:
-		return UpdateAttr{XID: op.XID, Name: op.Name, Old: op.New, New: op.Old}
+		return UpdateAttr{XID: op.XID, Name: op.Name, Old: op.New, New: op.Old}, nil
 	default:
-		panic(fmt.Sprintf("delta: unknown op type %T", o))
+		return nil, fmt.Errorf("delta: invert: unknown op type %T", o)
 	}
 }

@@ -79,7 +79,14 @@ func randWord(r *rand.Rand) string {
 
 func TestQuickInvertIsInvolution(t *testing.T) {
 	f := func(ro RandomOps) bool {
-		twice := ro.D.Invert().Invert()
+		once, err := ro.D.Invert()
+		if err != nil {
+			return false
+		}
+		twice, err := once.Invert()
+		if err != nil {
+			return false
+		}
 		a, err1 := ro.D.MarshalText()
 		b, err2 := twice.MarshalText()
 		return err1 == nil && err2 == nil && string(a) == string(b)

@@ -15,8 +15,9 @@ import (
 // serialized 1-based, as in the paper's examples; in-memory ops use
 // 0-based positions.
 
-// ToDoc renders the delta as an XML document tree.
-func (d *Delta) ToDoc() *dom.Node {
+// ToDoc renders the delta as an XML document tree. It errors on an
+// operation type the package does not know instead of panicking.
+func (d *Delta) ToDoc() (*dom.Node, error) {
 	doc := dom.NewDocument()
 	root := dom.NewElement("delta")
 	if d.NextXID != 0 {
@@ -24,14 +25,22 @@ func (d *Delta) ToDoc() *dom.Node {
 	}
 	doc.Append(root)
 	for _, op := range d.Ops {
-		root.Append(opToElement(op))
+		e, err := opToElement(op)
+		if err != nil {
+			return nil, err
+		}
+		root.Append(e)
 	}
-	return doc
+	return doc, nil
 }
 
 // WriteTo serializes the delta as XML.
 func (d *Delta) WriteTo(w io.Writer) (int64, error) {
-	return d.ToDoc().WriteTo(w)
+	doc, err := d.ToDoc()
+	if err != nil {
+		return 0, err
+	}
+	return doc.WriteTo(w)
 }
 
 // MarshalText renders the delta as XML bytes.
@@ -50,7 +59,7 @@ func (d *Delta) Size() int {
 	return len(b)
 }
 
-func opToElement(op Op) *dom.Node {
+func opToElement(op Op) (*dom.Node, error) {
 	switch o := op.(type) {
 	case Insert:
 		e := dom.NewElement("insert")
@@ -61,7 +70,7 @@ func opToElement(op Op) *dom.Node {
 		if o.Subtree != nil {
 			e.Append(stripXIDs(o.Subtree.Clone()))
 		}
-		return e
+		return e, nil
 	case Delete:
 		e := dom.NewElement("delete")
 		e.SetAttribute("xid", strconv.FormatInt(o.XID, 10))
@@ -71,7 +80,7 @@ func opToElement(op Op) *dom.Node {
 		if o.Subtree != nil {
 			e.Append(stripXIDs(o.Subtree.Clone()))
 		}
-		return e
+		return e, nil
 	case Update:
 		e := dom.NewElement("update")
 		e.SetAttribute("xid", strconv.FormatInt(o.XID, 10))
@@ -84,7 +93,7 @@ func opToElement(op Op) *dom.Node {
 			newEl.Append(dom.NewText(o.New))
 		}
 		e.Append(oldEl, newEl)
-		return e
+		return e, nil
 	case Move:
 		e := dom.NewElement("move")
 		e.SetAttribute("xid", strconv.FormatInt(o.XID, 10))
@@ -92,28 +101,28 @@ func opToElement(op Op) *dom.Node {
 		e.SetAttribute("from-pos", strconv.Itoa(o.FromPos+1))
 		e.SetAttribute("to-parent", strconv.FormatInt(o.ToParent, 10))
 		e.SetAttribute("to-pos", strconv.Itoa(o.ToPos+1))
-		return e
+		return e, nil
 	case InsertAttr:
 		e := dom.NewElement("insert-attribute")
 		e.SetAttribute("xid", strconv.FormatInt(o.XID, 10))
 		e.SetAttribute("name", o.Name)
 		e.SetAttribute("value", o.Value)
-		return e
+		return e, nil
 	case DeleteAttr:
 		e := dom.NewElement("delete-attribute")
 		e.SetAttribute("xid", strconv.FormatInt(o.XID, 10))
 		e.SetAttribute("name", o.Name)
 		e.SetAttribute("old", o.Old)
-		return e
+		return e, nil
 	case UpdateAttr:
 		e := dom.NewElement("update-attribute")
 		e.SetAttribute("xid", strconv.FormatInt(o.XID, 10))
 		e.SetAttribute("name", o.Name)
 		e.SetAttribute("old", o.Old)
 		e.SetAttribute("new", o.New)
-		return e
+		return e, nil
 	default:
-		panic(fmt.Sprintf("delta: unknown op type %T", op))
+		return nil, fmt.Errorf("delta: serialize: unknown op type %T", op)
 	}
 }
 

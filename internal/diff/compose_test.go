@@ -121,7 +121,11 @@ func TestComposeInvertible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := delta.ApplyClone(v3, composed.Invert())
+	inv, err := composed.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := delta.ApplyClone(v3, inv)
 	if err != nil {
 		t.Fatal(err)
 	}

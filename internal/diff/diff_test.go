@@ -38,7 +38,11 @@ func roundTrip(t *testing.T, oldXML, newXML string, opts Options) *delta.Delta {
 	if !dom.Equal(got, newDoc) {
 		t.Fatalf("apply(old, delta) != new: %s\ndelta:\n%s\ngot: %s", dom.Diagnose(got, newDoc), d, got)
 	}
-	back, err := delta.ApplyClone(got, d.Invert())
+	inv, err := d.Invert()
+	if err != nil {
+		t.Fatalf("Invert: %v\ndelta:\n%s", err, d)
+	}
+	back, err := delta.ApplyClone(got, inv)
 	if err != nil {
 		t.Fatalf("Apply inverse: %v\ndelta:\n%s", err, d)
 	}
@@ -392,7 +396,11 @@ func TestDiffRandomPairsRoundTrip(t *testing.T) {
 		if !dom.Equal(got, newDoc) {
 			t.Fatalf("trial %d mismatch: %s\nold: %s\nnew: %s\ndelta:\n%s", trial, dom.Diagnose(got, newDoc), oldDoc, newDoc, d)
 		}
-		back, err := delta.ApplyClone(got, d.Invert())
+		inv, err := d.Invert()
+		if err != nil {
+			t.Fatalf("trial %d invert: %v", trial, err)
+		}
+		back, err := delta.ApplyClone(got, inv)
 		if err != nil {
 			t.Fatalf("trial %d invert apply: %v", trial, err)
 		}

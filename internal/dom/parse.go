@@ -2,6 +2,7 @@ package dom
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,9 @@ type ParseOptions struct {
 	// KeepProcInsts preserves processing instructions other than the
 	// <?xml ...?> declaration.
 	KeepProcInsts bool
+	// Limits bounds resource use on untrusted input; the zero value
+	// imposes no limits.
+	Limits ParseLimits
 }
 
 // DefaultParseOptions are the options used by Parse: whitespace-only
@@ -57,6 +61,11 @@ func ParseFile(path string) (*Node, error) {
 // The returned node always has Type Document; its children are the
 // top-level items of the document.
 func ParseWithOptions(r io.Reader, opts ParseOptions) (*Node, error) {
+	var lr *limitReader
+	if opts.Limits.MaxBytes > 0 {
+		lr = &limitReader{r: r, remain: opts.Limits.MaxBytes, limit: opts.Limits.MaxBytes}
+		r = lr
+	}
 	dec := xml.NewDecoder(r)
 	// The diff operates on documents as-is; entity expansion beyond the
 	// predefined five is out of scope, but strictness stays on so that
@@ -70,16 +79,33 @@ func ParseWithOptions(r io.Reader, opts ParseOptions) (*Node, error) {
 	// keep names in their prefix:local source form; the xmlns
 	// attributes stay in the tree, so output round-trips.
 	ns := nsStack{}
+	depth := 0
+	var tokens int64
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			if lr != nil && lr.exceeded {
+				return nil, &LimitError{What: "bytes", Limit: opts.Limits.MaxBytes}
+			}
+			var le *LimitError
+			if errors.As(err, &le) {
+				return nil, le
+			}
 			return nil, fmt.Errorf("dom: %w", err)
+		}
+		tokens++
+		if max := opts.Limits.MaxTokens; max > 0 && tokens > max {
+			return nil, &LimitError{What: "tokens", Limit: max}
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			depth++
+			if max := opts.Limits.MaxDepth; max > 0 && depth > max {
+				return nil, &LimitError{What: "depth", Limit: int64(max)}
+			}
 			ns.push(t.Attr)
 			el := NewElement(ns.elemName(t.Name))
 			if len(t.Attr) > 0 {
@@ -92,6 +118,7 @@ func ParseWithOptions(r io.Reader, opts ParseOptions) (*Node, error) {
 			cur = el
 			sawElement = true
 		case xml.EndElement:
+			depth--
 			ns.pop()
 			if cur == doc {
 				return nil, fmt.Errorf("dom: unbalanced end element %s", t.Name.Local)

@@ -1,0 +1,110 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPassThroughCounts(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{})
+	f, err := fs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(filepath.Join(dir, "a")); string(got) != "hello" {
+		t.Errorf("content %q", got)
+	}
+	for op, want := range map[Op]int{OpOpen: 1, OpWrite: 1, OpSync: 1, OpClose: 1} {
+		if fs.Count(op) != want {
+			t.Errorf("count(%s) = %d, want %d", op, fs.Count(op), want)
+		}
+	}
+}
+
+func TestShortWriteThenError(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{}, &Fault{Op: OpWrite, Countdown: 2, ShortBytes: 3})
+	f, _ := fs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("second"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write persisted %d bytes, want 3", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(got) != "firstsec" {
+		t.Errorf("on disk %q, want %q", got, "firstsec")
+	}
+}
+
+func TestSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	want := errors.New("disk on fire")
+	fs := Wrap(OS{}, &Fault{Op: OpSync, Countdown: 1, Err: want})
+	f, _ := fs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, want) {
+		t.Fatalf("sync err = %v", err)
+	}
+}
+
+func TestCrashStopsEverything(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{}, &Fault{Op: OpWrite, Countdown: 1, ShortBytes: 2, Crash: true})
+	f, _ := fs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write err = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	// All later operations fail, on any file or path.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync err = %v", err)
+	}
+	if _, err := fs.OpenFile(filepath.Join(dir, "b"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash open err = %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash rename err = %v", err)
+	}
+	// Only the pre-crash prefix made it to disk.
+	f.Close()
+	got, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(got) != "ab" {
+		t.Errorf("on disk %q, want %q", got, "ab")
+	}
+}
+
+func TestRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644)
+	fs := Wrap(OS{}, &Fault{Op: OpRename, Countdown: 1, Crash: true})
+	err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Error("source vanished despite faulted rename")
+	}
+}

@@ -45,16 +45,49 @@ func storeError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rec := s.store.RecoveryStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"documents": len(s.store.IDs()),
-		"uptime":    time.Since(s.started).Round(time.Second).String(),
+		"status":      "ok",
+		"documents":   len(s.store.IDs()),
+		"uptime":      time.Since(s.started).Round(time.Second).String(),
+		"journalSync": s.store.SyncPolicy().String(),
+		"recovery": map[string]any{
+			"documents":        rec.Documents,
+			"snapshotVersions": rec.SnapshotVersions,
+			"journalRecords":   rec.JournalRecords,
+			"journalSkipped":   rec.JournalSkipped,
+			"tornTails":        rec.TornTails,
+			"journalBytes":     rec.JournalBytes,
+		},
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+
+	// Journal durability counters from the store (all zero for a pure
+	// in-memory store).
+	ds := s.store.DurabilityStats()
+	rec := s.store.RecoveryStats()
+	fmt.Fprintln(w, "# HELP xydiffd_journal_appends_total Journal records appended.")
+	fmt.Fprintln(w, "# TYPE xydiffd_journal_appends_total counter")
+	fmt.Fprintf(w, "xydiffd_journal_appends_total %d\n", ds.Appends)
+	fmt.Fprintln(w, "# HELP xydiffd_journal_appended_bytes_total Bytes appended to journals.")
+	fmt.Fprintln(w, "# TYPE xydiffd_journal_appended_bytes_total counter")
+	fmt.Fprintf(w, "xydiffd_journal_appended_bytes_total %d\n", ds.AppendedBytes)
+	fmt.Fprintln(w, "# HELP xydiffd_journal_syncs_total Journal fsyncs completed.")
+	fmt.Fprintln(w, "# TYPE xydiffd_journal_syncs_total counter")
+	fmt.Fprintf(w, "xydiffd_journal_syncs_total %d\n", ds.Syncs)
+	fmt.Fprintln(w, "# HELP xydiffd_journal_checkpoints_total Snapshot+compaction cycles completed.")
+	fmt.Fprintln(w, "# TYPE xydiffd_journal_checkpoints_total counter")
+	fmt.Fprintf(w, "xydiffd_journal_checkpoints_total %d\n", ds.Checkpoints)
+	fmt.Fprintln(w, "# HELP xydiffd_recovery_journal_records Journal records replayed at startup.")
+	fmt.Fprintln(w, "# TYPE xydiffd_recovery_journal_records gauge")
+	fmt.Fprintf(w, "xydiffd_recovery_journal_records %d\n", rec.JournalRecords)
+	fmt.Fprintln(w, "# HELP xydiffd_recovery_torn_tails Torn journal tails truncated at startup.")
+	fmt.Fprintln(w, "# TYPE xydiffd_recovery_torn_tails gauge")
+	fmt.Fprintf(w, "xydiffd_recovery_torn_tails %d\n", rec.TornTails)
 
 	// Change statistics from the stats collector (the paper's
 	// measurement program), aggregated over every versioning diff.
@@ -96,14 +129,40 @@ type putResult struct {
 	err     error
 }
 
+// parseOptions are the hardened parse options applied to uploaded
+// documents: the standard content model plus the configured depth and
+// token bounds (body bytes are already capped by MaxBytesReader).
+func (s *Server) parseOptions() dom.ParseOptions {
+	opts := dom.DefaultParseOptions()
+	if s.cfg.MaxParseDepth > 0 {
+		opts.Limits.MaxDepth = s.cfg.MaxParseDepth
+	}
+	if s.cfg.MaxParseTokens > 0 {
+		opts.Limits.MaxTokens = s.cfg.MaxParseTokens
+	}
+	return opts
+}
+
 func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	doc, err := dom.Parse(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	doc, err := dom.ParseWithOptions(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.parseOptions())
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("document exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		var limit *dom.LimitError
+		if errors.As(err, &limit) {
+			// A byte-bound breach is the same class as MaxBytesReader
+			// (413); structural bounds mean the document is well-formed
+			// bytes but unacceptable content (422).
+			code := http.StatusUnprocessableEntity
+			if limit.What == "bytes" {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, limit.Error())
 			return
 		}
 		writeError(w, http.StatusBadRequest, "parse document: "+err.Error())

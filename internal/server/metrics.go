@@ -23,6 +23,7 @@ type Metrics struct {
 	phases   [5]time.Duration
 	rejected int64
 	alerts   int64
+	panics   int64
 
 	// gauges polled at scrape time
 	queueDepth    func() int
@@ -65,6 +66,12 @@ func (m *Metrics) addRejected() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rejected++
+}
+
+func (m *Metrics) addPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
 }
 
 func (m *Metrics) addAlerts(n int) {
@@ -140,6 +147,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP xydiffd_alerts_total Alerts raised by the subscription system.")
 	fmt.Fprintln(w, "# TYPE xydiffd_alerts_total counter")
 	fmt.Fprintf(w, "xydiffd_alerts_total %d\n", m.alerts)
+
+	fmt.Fprintln(w, "# HELP xydiffd_panics_total Handler panics caught by the recovery middleware.")
+	fmt.Fprintln(w, "# TYPE xydiffd_panics_total counter")
+	fmt.Fprintf(w, "xydiffd_panics_total %d\n", m.panics)
 }
 
 // histogram is a fixed-bucket latency histogram (seconds). Quantiles

@@ -64,6 +64,7 @@ func (s *Server) instrument(route string, deadline bool, h http.HandlerFunc) htt
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
+				s.metrics.addPanic()
 				s.log.Error("panic", "route", route, "path", r.URL.Path,
 					"panic", rec, "stack", string(debug.Stack()))
 				if sw.status == 0 {

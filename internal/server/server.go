@@ -36,6 +36,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps an uploaded document version (default 16 MiB).
 	MaxBodyBytes int64
+	// MaxParseDepth caps element nesting depth of uploaded documents
+	// (default 1000; negative disables the limit).
+	MaxParseDepth int
+	// MaxParseTokens caps XML token count of uploaded documents
+	// (default 1,000,000; negative disables the limit).
+	MaxParseTokens int64
 	// AlertLogSize is how many recent alerts are kept per document for
 	// the polling endpoint (default 1024).
 	AlertLogSize int
@@ -56,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxParseDepth == 0 {
+		c.MaxParseDepth = 1000
+	}
+	if c.MaxParseTokens == 0 {
+		c.MaxParseTokens = 1_000_000
 	}
 	if c.AlertLogSize <= 0 {
 		c.AlertLogSize = 1024

@@ -393,3 +393,31 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Error("quantiles not monotone")
 	}
 }
+
+func TestPutParseLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxParseDepth: 5, MaxParseTokens: 50, MaxBodyBytes: 4096})
+
+	deep := strings.Repeat("<a>", 10) + "x" + strings.Repeat("</a>", 10)
+	code, _, body := doReq(t, "PUT", ts.URL+"/docs/deep", deep)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("deep document: got %d %s, want 422", code, body)
+	}
+
+	wide := "<r>" + strings.Repeat("<p>x</p>", 40) + "</r>"
+	code, _, body = doReq(t, "PUT", ts.URL+"/docs/wide", wide)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("token-heavy document: got %d %s, want 422", code, body)
+	}
+
+	big := "<r>" + strings.Repeat("a", 8192) + "</r>"
+	code, _, body = doReq(t, "PUT", ts.URL+"/docs/big", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized document: got %d %s, want 413", code, body)
+	}
+
+	ok := "<r><p>fine</p></r>"
+	code, _, body = doReq(t, "PUT", ts.URL+"/docs/ok", ok)
+	if code != http.StatusCreated {
+		t.Fatalf("small document: got %d %s, want 201", code, body)
+	}
+}

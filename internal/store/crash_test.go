@@ -1,0 +1,177 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/faultfs"
+)
+
+// ackedVersion is one Put the store acknowledged before the crash: the
+// contract under test is that it reconstructs byte-identically after
+// reopening the directory.
+type ackedVersion struct {
+	id      string
+	version int
+	want    string // serialized reconstruction at acknowledgement time
+}
+
+// crashWorkload drives a fixed Put/Checkpoint sequence against a store
+// over fsys, recording every acknowledged version. It stops at the
+// first injected failure (the simulated process is dead) and never
+// fails the test for store errors — those are the point.
+func crashWorkload(t *testing.T, dir string, fsys faultfs.FS) []ackedVersion {
+	t.Helper()
+	s, err := Open(dir, diff.Options{}, Durability{Sync: SyncAlways, FS: fsys})
+	if err != nil {
+		return nil
+	}
+	defer s.Close()
+	var acked []ackedVersion
+	record := func(id string, v int) bool {
+		doc, err := s.Version(id, v)
+		if err != nil {
+			t.Fatalf("reconstruct just-acknowledged %s v%d: %v", id, v, err)
+		}
+		acked = append(acked, ackedVersion{id: id, version: v, want: doc.String()})
+		return true
+	}
+	steps := []func() bool{
+		// Phase 1: journal appends.
+		func() bool {
+			v, _, err := s.Put("a", parse(t, `<r><x>1</x></r>`))
+			return err == nil && record("a", v)
+		},
+		func() bool {
+			v, _, err := s.Put("a", parse(t, `<r><x>2</x><y/></r>`))
+			return err == nil && record("a", v)
+		},
+		func() bool {
+			v, _, err := s.Put("b", parse(t, `<doc><only/></doc>`))
+			return err == nil && record("b", v)
+		},
+		// Phase 2: snapshot + compaction.
+		func() bool { return s.Checkpoint() == nil },
+		// Phase 3: appends after the checkpoint.
+		func() bool {
+			v, _, err := s.Put("a", parse(t, `<r><x>3</x></r>`))
+			return err == nil && record("a", v)
+		},
+		func() bool { return s.Checkpoint() == nil },
+	}
+	for _, step := range steps {
+		if !step() {
+			break
+		}
+	}
+	return acked
+}
+
+// verifyAcked reopens dir through the real filesystem and checks that
+// every version the crashed run acknowledged reconstructs identically.
+// A crash must never read back as corruption.
+func verifyAcked(t *testing.T, dir string, acked []ackedVersion, scenario string) {
+	t.Helper()
+	s, err := Open(dir, diff.Options{}, Durability{Sync: SyncOff})
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: crash produced data recovery calls corrupt: %v", scenario, err)
+		}
+		t.Fatalf("%s: reopen after crash: %v", scenario, err)
+	}
+	defer s.Close()
+	for _, a := range acked {
+		doc, err := s.Version(a.id, a.version)
+		if err != nil {
+			t.Errorf("%s: acknowledged %s v%d lost: %v", scenario, a.id, a.version, err)
+			continue
+		}
+		if got := doc.String(); got != a.want {
+			t.Errorf("%s: %s v%d differs after crash:\n got %q\nwant %q",
+				scenario, a.id, a.version, got, a.want)
+		}
+	}
+}
+
+// TestCrashMatrix crashes the filesystem at every write, sync, rename,
+// remove and open along the workload (appends, snapshot, compaction,
+// more appends) and asserts that reopening the directory reconstructs
+// every acknowledged version byte-identically.
+func TestCrashMatrix(t *testing.T) {
+	// Counting pass: how many of each op does the clean workload issue?
+	clean := faultfs.Wrap(faultfs.OS{})
+	cleanAcked := crashWorkload(t, t.TempDir(), clean)
+	if len(cleanAcked) != 4 {
+		t.Fatalf("clean workload acknowledged %d versions, want 4", len(cleanAcked))
+	}
+	for _, op := range []faultfs.Op{faultfs.OpWrite, faultfs.OpSync, faultfs.OpRename, faultfs.OpRemove, faultfs.OpOpen} {
+		total := clean.Count(op)
+		if total == 0 {
+			t.Fatalf("clean workload performs no %s ops; matrix would be vacuous", op)
+		}
+		for k := 1; k <= total; k++ {
+			scenario := fmt.Sprintf("crash at %s #%d/%d", op, k, total)
+			dir := t.TempDir()
+			fsys := faultfs.Wrap(faultfs.OS{}, &faultfs.Fault{Op: op, Countdown: k, Crash: true})
+			acked := crashWorkload(t, dir, fsys)
+			verifyAcked(t, dir, acked, scenario)
+		}
+	}
+}
+
+// TestCrashTornWrite is the short-write variant: the crash happens
+// mid-write, persisting only a prefix of the journal record, which
+// recovery must truncate away as a torn tail.
+func TestCrashTornWrite(t *testing.T) {
+	clean := faultfs.Wrap(faultfs.OS{})
+	crashWorkload(t, t.TempDir(), clean)
+	total := clean.Count(faultfs.OpWrite)
+	for k := 1; k <= total; k++ {
+		for _, short := range []int{1, 7, 40} {
+			scenario := fmt.Sprintf("torn write #%d/%d after %d bytes", k, total, short)
+			dir := t.TempDir()
+			fsys := faultfs.Wrap(faultfs.OS{}, &faultfs.Fault{
+				Op: faultfs.OpWrite, Countdown: k, ShortBytes: short, Crash: true,
+			})
+			acked := crashWorkload(t, dir, fsys)
+			verifyAcked(t, dir, acked, scenario)
+		}
+	}
+}
+
+// TestJournalAppendFailureLeavesStoreConsistent injects a non-crash
+// write error: the Put must fail, the in-memory history must be
+// untouched, and later Puts must succeed and persist.
+func TestJournalAppendFailureLeavesStoreConsistent(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.Wrap(faultfs.OS{}, &faultfs.Fault{Op: faultfs.OpWrite, Countdown: 2})
+	s, err := Open(dir, diff.Options{}, Durability{Sync: SyncAlways, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Put("doc", parse(t, `<r><v>1</v></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("doc", parse(t, `<r><v>2</v></r>`)); err == nil {
+		t.Fatal("journal write failure did not fail the Put")
+	}
+	if got := s.Versions("doc"); got != 1 {
+		t.Fatalf("failed Put left %d versions in memory, want 1", got)
+	}
+	// The journal was truncated back, so the next Put lands cleanly.
+	if v, _, err := s.Put("doc", parse(t, `<r><v>2b</v></r>`)); err != nil || v != 2 {
+		t.Fatalf("put after failed append: v=%d err=%v", v, err)
+	}
+	s.Close()
+	s2, err := Open(dir, diff.Options{}, Durability{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Versions("doc"); got != 2 {
+		t.Fatalf("reopened store has %d versions, want 2", got)
+	}
+}

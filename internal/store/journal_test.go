@@ -1,0 +1,348 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xydiff/internal/diff"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	body := []byte(`<r><a>payload</a></r>`)
+	rec := encodeRecord(recordDelta, 42, body)
+	if len(rec) != journalHeaderLen+1+1+len(body) {
+		t.Fatalf("record length %d", len(rec))
+	}
+	kind, version, got, err := decodePayload(rec[journalHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != recordDelta || version != 42 || !bytes.Equal(got, body) {
+		t.Fatalf("decoded kind=%d version=%d body=%q", kind, version, got)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"off", SyncOff}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("String() round trip: %q", got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// openJournaled builds a journal-only store (no checkpoint) with three
+// versions of one document and returns its directory, the journal path
+// and the serialized form of every version.
+func openJournaled(t *testing.T) (dir, journal string, versions []string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := Open(dir, diff.Options{}, Durability{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := []string{
+		`<r><a>1</a></r>`,
+		`<r><a>2</a><b/></r>`,
+		`<r><a>2</a><b/><c>three</c></r>`,
+	}
+	for _, b := range bodies {
+		if _, _, err := s.Put("doc", parse(t, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 1; v <= 3; v++ {
+		doc, err := s.Version("doc", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, doc.String())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, journalPath(dir, "doc"), versions
+}
+
+// reopen opens dir read-write through the real filesystem.
+func reopen(t *testing.T, dir string) (*Store, error) {
+	t.Helper()
+	return Open(dir, diff.Options{}, Durability{Sync: SyncOff})
+}
+
+func assertCorrupt(t *testing.T, err error, wantFile string) *CorruptError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("damaged data accepted without error")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error does not match ErrCorrupt: %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("no *CorruptError in chain: %v", err)
+	}
+	if ce.File != wantFile {
+		t.Fatalf("corrupt file = %q, want %q", ce.File, wantFile)
+	}
+	return ce
+}
+
+func TestJournalTornTailRecoversPrefix(t *testing.T) {
+	dir, journal, versions := openJournaled(t)
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the last record: a torn append.
+	cut := len(raw) - 5
+	if err := os.WriteFile(journal, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := reopen(t, dir)
+	if err != nil {
+		t.Fatalf("torn tail refused: %v", err)
+	}
+	defer s.Close()
+	if got := s.Versions("doc"); got != 2 {
+		t.Fatalf("recovered %d versions, want 2 (torn third)", got)
+	}
+	for v := 1; v <= 2; v++ {
+		doc, err := s.Version("doc", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.String() != versions[v-1] {
+			t.Errorf("version %d differs after torn-tail recovery", v)
+		}
+	}
+	if rec := s.RecoveryStats(); rec.TornTails != 1 {
+		t.Errorf("TornTails = %d, want 1", rec.TornTails)
+	}
+	// The tail was truncated away, so a reopen sees a clean journal.
+	s2, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec := s2.RecoveryStats(); rec.TornTails != 0 {
+		t.Errorf("second open still sees a torn tail: %+v", rec)
+	}
+}
+
+func TestJournalTornTailAccumulatesNewPuts(t *testing.T) {
+	dir, journal, _ := openJournaled(t)
+	raw, _ := os.ReadFile(journal)
+	os.WriteFile(journal, raw[:len(raw)-5], 0o644)
+	s, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new Put after torn-tail truncation must append cleanly.
+	if v, _, err := s.Put("doc", parse(t, `<r><fresh/></r>`)); err != nil || v != 3 {
+		t.Fatalf("put after truncation: v=%d err=%v", v, err)
+	}
+	s.Close()
+	s2, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Versions("doc"); got != 3 {
+		t.Fatalf("versions after reopen = %d, want 3", got)
+	}
+}
+
+func TestJournalCorruptionTable(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(t *testing.T, raw []byte) []byte
+	}{
+		{"bit flip in first payload", func(t *testing.T, raw []byte) []byte {
+			raw[journalHeaderLen+3] ^= 0x40
+			return raw
+		}},
+		{"bit flip in stored crc", func(t *testing.T, raw []byte) []byte {
+			raw[5] ^= 0x01
+			return raw
+		}},
+		{"zero filled header", func(t *testing.T, raw []byte) []byte {
+			for i := 0; i < journalHeaderLen; i++ {
+				raw[i] = 0
+			}
+			return raw
+		}},
+		{"absurd length field", func(t *testing.T, raw []byte) []byte {
+			raw[0], raw[1], raw[2], raw[3] = 0xff, 0xff, 0xff, 0xff
+			return raw
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, journal, _ := openJournaled(t)
+			raw, err := os.ReadFile(journal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(journal, tc.mut(t, raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = reopen(t, dir)
+			ce := assertCorrupt(t, err, journal)
+			if ce.Offset != 0 {
+				t.Errorf("offset = %d, want 0 (damage is in the first record)", ce.Offset)
+			}
+		})
+	}
+}
+
+func TestJournalMidLogCorruptionReportsOffset(t *testing.T) {
+	dir, journal, _ := openJournaled(t)
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload; its offset is the
+	// end of the first record.
+	firstLen := int64(journalHeaderLen) + int64(raw[0])<<24 | int64(raw[1])<<16 | int64(raw[2])<<8 | int64(raw[3])
+	raw[firstLen+journalHeaderLen+2] ^= 0x10
+	if err := os.WriteFile(journal, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = reopen(t, dir)
+	ce := assertCorrupt(t, err, journal)
+	if ce.Offset != firstLen {
+		t.Errorf("offset = %d, want %d (second record)", ce.Offset, firstLen)
+	}
+}
+
+func TestSnapshotCorruptionTable(t *testing.T) {
+	tests := []struct {
+		name string
+		file string
+		mut  func(raw []byte) []byte
+	}{
+		{"bit flipped base version", "v1.xml", func(raw []byte) []byte {
+			raw[1] ^= 0x20 // <r... -> mangled tag
+			return raw
+		}},
+		{"zero filled delta", "delta-0001.xml", func(raw []byte) []byte {
+			for i := range raw {
+				raw[i] = 0
+			}
+			return raw
+		}},
+		{"truncated delta", "delta-0001.xml", func(raw []byte) []byte {
+			return raw[:len(raw)/2]
+		}},
+		{"truncated base version", "v1.xml", func(raw []byte) []byte {
+			return raw[:len(raw)/2]
+		}},
+		{"garbage version counter", "versions", func(raw []byte) []byte {
+			return []byte("NaN")
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, sub := saveSample(t)
+			target := filepath.Join(sub, tc.file)
+			raw, err := os.ReadFile(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(target, tc.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = Load(dir, diff.Options{})
+			ce := assertCorrupt(t, err, target)
+			if ce.Offset != -1 {
+				t.Errorf("offset = %d, want -1 (whole-file failure)", ce.Offset)
+			}
+		})
+	}
+}
+
+func TestCheckpointRetiresJournal(t *testing.T) {
+	dir, journal, versions := openJournaled(t)
+	s, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Fatalf("journal still present after checkpoint: %v", err)
+	}
+	if got := s.DurabilityStats().Checkpoints; got != 1 {
+		t.Errorf("Checkpoints = %d, want 1", got)
+	}
+	s.Close()
+	// The snapshot alone must reconstruct everything.
+	s2, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.RecoveryStats()
+	if rec.SnapshotVersions != 3 || rec.JournalRecords != 0 {
+		t.Fatalf("recovery after checkpoint: %+v", rec)
+	}
+	for v := 1; v <= 3; v++ {
+		doc, err := s2.Version("doc", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.String() != versions[v-1] {
+			t.Errorf("version %d differs after checkpoint round trip", v)
+		}
+	}
+}
+
+func TestJournalSurvivesAlongsideSnapshot(t *testing.T) {
+	// Checkpoint, then more Puts: recovery uses snapshot + journal.
+	dir, _, _ := openJournaled(t)
+	s, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("doc", parse(t, `<r><post-checkpoint/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	want4, err := s.Version("doc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := reopen(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.RecoveryStats()
+	if rec.SnapshotVersions != 3 || rec.JournalRecords != 1 {
+		t.Fatalf("recovery split: %+v", rec)
+	}
+	got4, err := s2.Version("doc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got4.String() != want4.String() {
+		t.Error("post-checkpoint version differs after reopen")
+	}
+}

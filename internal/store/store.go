@@ -5,22 +5,30 @@
 // deltas are completed (and therefore invertible), any past version can
 // be reconstructed from the latest one, and "queries about the past"
 // are queries over the stored delta documents.
+//
+// A store can be purely in-memory (New) or backed by a directory
+// (Open). A backed store is crash-safe: every Put appends the version
+// to a per-document write-ahead journal before it is acknowledged, and
+// reopening the directory replays journals on top of the last snapshot
+// (see journal.go and recover.go). Checkpoint writes a fresh snapshot
+// and retires the replayed journal segments.
 package store
 
 import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/faultfs"
 	"xydiff/internal/xid"
 )
 
@@ -33,8 +41,8 @@ import (
 // document trees past its return.
 type Observer func(id string, version int, oldDoc, newDoc *dom.Node, r *diff.Result)
 
-// Store is an in-memory versioned XML repository. All methods are safe
-// for concurrent use; writes to different documents diff in parallel,
+// Store is a versioned XML repository. All methods are safe for
+// concurrent use; writes to different documents diff in parallel,
 // writes to the same document serialize on its history lock.
 type Store struct {
 	opts diff.Options
@@ -42,6 +50,19 @@ type Store struct {
 
 	mu   sync.RWMutex // guards the docs map only, never document contents
 	docs map[string]*history
+
+	// Durability attachment; zero for a purely in-memory store.
+	dir      string
+	fs       faultfs.FS
+	policy   SyncPolicy
+	interval time.Duration
+	jmu      sync.Mutex // guards journals map and closed flag
+	journals map[string]*journalWriter
+	closed   bool
+	stopSync chan struct{}
+	syncDone chan struct{}
+	stats    durabilityCounters
+	recovery RecoveryStats
 }
 
 type history struct {
@@ -51,7 +72,8 @@ type history struct {
 	versions int
 }
 
-// New returns an empty store whose diffs run with the given options.
+// New returns an empty in-memory store whose diffs run with the given
+// options. Nothing is persisted; use Open for a durable store.
 func New(opts diff.Options) *Store {
 	return &Store{opts: opts, docs: make(map[string]*history)}
 }
@@ -67,6 +89,10 @@ func (s *Store) get(id string) *history {
 	return s.docs[id]
 }
 
+// journaling reports whether Puts must reach the write-ahead journal
+// before they are acknowledged.
+func (s *Store) journaling() bool { return s.dir != "" }
+
 // Put installs a new version of the document identified by id and
 // returns its version number (1-based) and the delta from the previous
 // version (nil for the first). The store keeps its own copy of doc.
@@ -77,6 +103,12 @@ func (s *Store) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
 // PutContext is Put honouring context cancellation: the diff against
 // the previous version aborts with ctx.Err() once ctx is done, leaving
 // the stored history untouched.
+//
+// On a journaling store the version is appended (and, under
+// SyncAlways, fsynced) to the document's journal before PutContext
+// returns: a nil error means the version survives a crash. A journal
+// write failure leaves the in-memory history untouched and returns the
+// error, so the version is neither acknowledged nor half-installed.
 func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error) {
 	if doc == nil || doc.Type != dom.Document {
 		return 0, nil, fmt.Errorf("store: need a Document node")
@@ -94,6 +126,11 @@ func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, 
 	if h.versions == 0 {
 		first := doc.Clone()
 		xid.Assign(first)
+		if s.journaling() {
+			if err := s.journalAppend(id, 1, recordBase, first); err != nil {
+				return 0, nil, err
+			}
+		}
 		h.latest = first
 		h.versions = 1
 		return 1, nil, nil
@@ -102,6 +139,11 @@ func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, 
 	r, err := diff.DiffDetailedContext(ctx, h.latest, next, s.opts)
 	if err != nil {
 		return 0, nil, fmt.Errorf("store: diff %s: %w", id, err)
+	}
+	if s.journaling() {
+		if err := s.journalAppend(id, h.versions+1, recordDelta, r.Delta); err != nil {
+			return 0, nil, err
+		}
 	}
 	old := h.latest
 	h.deltas = append(h.deltas, r.Delta)
@@ -172,6 +214,15 @@ func (s *Store) IDs() []string {
 	return out
 }
 
+// applyInverse applies the inverse of d to doc.
+func applyInverse(doc *dom.Node, d *delta.Delta) error {
+	inv, err := d.Invert()
+	if err != nil {
+		return err
+	}
+	return delta.Apply(doc, inv)
+}
+
 // Version reconstructs version n (1-based) of the document by applying
 // inverted deltas backward from the latest version — the paper's
 // "reconstruct any version of the document given another version and
@@ -187,7 +238,7 @@ func (s *Store) Version(id string, n int) (*dom.Node, error) {
 	}
 	doc := h.latest.Clone()
 	for v := h.versions; v > n; v-- {
-		if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {
+		if err := applyInverse(doc, h.deltas[v-2]); err != nil {
 			return nil, fmt.Errorf("store: reconstruct %s version %d: %w", id, n, err)
 		}
 	}
@@ -227,29 +278,41 @@ func (s *Store) DeltasBetween(id string, from, to int) ([]*delta.Delta, error) {
 		}
 	case from > to:
 		for v := from; v > to; v-- {
-			out = append(out, h.deltas[v-2].Invert())
+			inv, err := h.deltas[v-2].Invert()
+			if err != nil {
+				return nil, fmt.Errorf("store: invert %s delta %d: %w", id, v-1, err)
+			}
+			out = append(out, inv)
 		}
 	}
 	return out, nil
 }
 
 // ---------------------------------------------------------------------------
-// File persistence. Layout, under dir/<escaped id>/:
+// File persistence. Layout, under dir/:
 //
-//	latest.xml     current version
-//	versions       version counter (decimal)
-//	delta-0001.xml ... delta-(versions-1).xml
+//	<escaped id>/latest.xml      current snapshotted version
+//	<escaped id>/versions        snapshot version counter (decimal)
+//	<escaped id>/v1.xml          base version (canonical XIDs)
+//	<escaped id>/delta-0001.xml  ... delta-(versions-1).xml
+//	journal-<escaped id>.log     write-ahead journal (see journal.go)
 //
 // XIDs of the latest version are rebuilt on load by replaying deltas
 // from version 1, whose XIDs are canonical post-order.
 //
-// Every file is written to a temporary name in the same directory and
-// renamed into place, and the version counter is renamed last: a save
-// interrupted at any point leaves either the previous consistent state
-// or the new one, never a half-written file the counter points at.
+// Every snapshot file is written to a temporary name in the same
+// directory and renamed into place, and the version counter is renamed
+// last: a save interrupted at any point leaves either the previous
+// consistent state or the new one, never a half-written file the
+// counter points at. Versions newer than the snapshot live in the
+// journal and are replayed over it on Open.
 
-// Save writes the whole store under dir.
+// Save writes a snapshot of the whole store under dir. It does not
+// touch journals; a backed store should normally use Checkpoint, which
+// snapshots into its own directory and retires the journal segments
+// the snapshot covers.
 func (s *Store) Save(dir string) error {
+	fsys := s.fsOrOS()
 	s.mu.RLock()
 	hs := make(map[string]*history, len(s.docs))
 	for id, h := range s.docs {
@@ -257,21 +320,113 @@ func (s *Store) Save(dir string) error {
 	}
 	s.mu.RUnlock()
 	for id, h := range hs {
-		if err := saveHistory(dir, id, h); err != nil {
+		h.mu.RLock()
+		err := saveHistory(fsys, dir, id, h)
+		h.mu.RUnlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func saveHistory(dir, id string, h *history) error {
+// Checkpoint snapshots a backed store into its directory and retires
+// each document's replayed journal segment: after it returns, the
+// snapshot alone reconstructs every version, and the journals hold only
+// versions installed after the checkpoint began. Crash-safe at every
+// point — the snapshot is written with atomic renames before a journal
+// segment is removed, and journal records the snapshot already covers
+// are skipped on replay.
+func (s *Store) Checkpoint() error {
+	if !s.journaling() {
+		return fmt.Errorf("store: Checkpoint needs a directory-backed store (use Open)")
+	}
+	s.mu.RLock()
+	hs := make(map[string]*history, len(s.docs))
+	for id, h := range s.docs {
+		hs[id] = h
+	}
+	s.mu.RUnlock()
+	ids := make([]string, 0, len(hs))
+	for id := range hs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := s.checkpointDoc(id, hs[id]); err != nil {
+			return err
+		}
+	}
+	s.stats.addCheckpoint()
+	return nil
+}
+
+// checkpointDoc snapshots one document and retires its journal. The
+// history read lock blocks Puts for this document, so the journal
+// cannot grow between the snapshot and the retirement.
+func (s *Store) checkpointDoc(id string, h *history) error {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
+	if h.versions == 0 {
+		return nil
+	}
+	if err := saveHistory(s.fs, s.dir, id, h); err != nil {
+		return fmt.Errorf("store: checkpoint %s: %w", id, err)
+	}
+	if err := s.journalRetire(id); err != nil {
+		return fmt.Errorf("store: retire journal %s: %w", id, err)
+	}
+	return nil
+}
+
+// Close stops the background sync loop (SyncInterval stores), flushes
+// and closes every open journal file. The store stays readable; writes
+// after Close fail.
+func (s *Store) Close() error {
+	if !s.journaling() {
+		return nil
+	}
+	s.jmu.Lock()
+	if s.closed {
+		s.jmu.Unlock()
+		return nil
+	}
+	s.closed = true
+	writers := make([]*journalWriter, 0, len(s.journals))
+	for _, w := range s.journals {
+		writers = append(writers, w)
+	}
+	s.journals = make(map[string]*journalWriter)
+	s.jmu.Unlock()
+	if s.stopSync != nil {
+		close(s.stopSync)
+		<-s.syncDone
+	}
+	var firstErr error
+	for _, w := range writers {
+		if err := w.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// fsOrOS returns the attached filesystem, or the real one.
+func (s *Store) fsOrOS() faultfs.FS {
+	if s.fs != nil {
+		return s.fs
+	}
+	return faultfs.OS{}
+}
+
+// saveHistory writes one document's snapshot; the caller holds at
+// least a read lock on h.
+func saveHistory(fsys faultfs.FS, dir, id string, h *history) error {
 	if h.versions == 0 {
 		return nil // first Put still in flight
 	}
 	sub := filepath.Join(dir, escapeID(id))
-	if err := os.MkdirAll(sub, 0o755); err != nil {
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
 		return err
 	}
 	// Persist version 1 (canonical XIDs) plus all deltas; the latest
@@ -281,14 +436,14 @@ func saveHistory(dir, id string, h *history) error {
 	if err != nil {
 		return err
 	}
-	if err := writeAtomic(filepath.Join(sub, "v1.xml"), v1.WriteTo); err != nil {
+	if err := writeAtomic(fsys, filepath.Join(sub, "v1.xml"), v1.WriteTo); err != nil {
 		return err
 	}
-	if err := writeAtomic(filepath.Join(sub, "latest.xml"), h.latest.WriteTo); err != nil {
+	if err := writeAtomic(fsys, filepath.Join(sub, "latest.xml"), h.latest.WriteTo); err != nil {
 		return err
 	}
 	for i, d := range h.deltas {
-		if err := writeAtomic(filepath.Join(sub, deltaFile(i+1)), d.WriteTo); err != nil {
+		if err := writeAtomic(fsys, filepath.Join(sub, deltaFile(i+1)), d.WriteTo); err != nil {
 			return err
 		}
 	}
@@ -296,18 +451,18 @@ func saveHistory(dir, id string, h *history) error {
 		n, err := io.WriteString(w, strconv.Itoa(h.versions))
 		return int64(n), err
 	}
-	return writeAtomic(filepath.Join(sub, "versions"), counter)
+	return writeAtomic(fsys, filepath.Join(sub, "versions"), counter)
 }
 
 // writeAtomic writes via a temporary file in path's directory, syncs,
 // and renames into place, so path is never observed half-written.
-func writeAtomic(path string, write func(io.Writer) (int64, error)) error {
-	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+func writeAtomic(fsys faultfs.FS, path string, write func(io.Writer) (int64, error)) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	defer os.Remove(tmp) // no-op once renamed
+	defer fsys.Remove(tmp) // no-op once renamed
 	if _, err := write(f); err != nil {
 		f.Close()
 		return err
@@ -319,53 +474,17 @@ func writeAtomic(path string, write func(io.Writer) (int64, error)) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fsys.Rename(tmp, path)
 }
 
-// Load reads a store previously written by Save.
+// Load reads a store previously written by Save or Open into memory,
+// replaying any journal segments left beside the snapshot. The
+// returned store is in-memory (not attached to dir); use Open to keep
+// writing durably.
 func Load(dir string, opts diff.Options) (*Store, error) {
 	s := New(opts)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if err := recoverInto(s, faultfs.OS{}, dir); err != nil {
 		return nil, err
-	}
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		id := unescapeID(e.Name())
-		sub := filepath.Join(dir, e.Name())
-		raw, err := os.ReadFile(filepath.Join(sub, "versions"))
-		if err != nil {
-			return nil, fmt.Errorf("store: load %s: %w", id, err)
-		}
-		versions, err := strconv.Atoi(strings.TrimSpace(string(raw)))
-		if err != nil || versions < 1 {
-			return nil, fmt.Errorf("store: load %s: bad version counter %q", id, raw)
-		}
-		doc, err := dom.ParseFile(filepath.Join(sub, "v1.xml"))
-		if err != nil {
-			return nil, fmt.Errorf("store: load %s: %w", id, err)
-		}
-		xid.Assign(doc)
-		h := &history{latest: doc, versions: 1}
-		for v := 1; v < versions; v++ {
-			f, err := os.Open(filepath.Join(sub, deltaFile(v)))
-			if err != nil {
-				return nil, fmt.Errorf("store: load %s: %w", id, err)
-			}
-			d, err := delta.Parse(f)
-			f.Close()
-			if err != nil {
-				return nil, fmt.Errorf("store: load %s delta %d: %w", id, v, err)
-			}
-			if err := delta.Apply(h.latest, d); err != nil {
-				return nil, fmt.Errorf("store: replay %s delta %d: %w", id, v, err)
-			}
-			h.deltas = append(h.deltas, d)
-			h.versions++
-		}
-		s.docs[id] = h
 	}
 	return s, nil
 }
@@ -374,7 +493,7 @@ func Load(dir string, opts diff.Options) (*Store, error) {
 func versionLocked(h *history, n int) (*dom.Node, error) {
 	doc := h.latest.Clone()
 	for v := h.versions; v > n; v-- {
-		if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {
+		if err := applyInverse(doc, h.deltas[v-2]); err != nil {
 			return nil, err
 		}
 	}
@@ -411,4 +530,12 @@ func unescapeID(s string) string {
 		b.WriteByte(s[i])
 	}
 	return b.String()
+}
+
+// snapshotLoadOptions parse persisted XML with full fidelity: the
+// serializer adds no indentation, so whitespace-only text in a
+// snapshot or journal record is genuine document content and must
+// survive the round-trip for XIDs to line up with the original parse.
+func snapshotLoadOptions() dom.ParseOptions {
+	return dom.ParseOptions{KeepWhitespace: true, KeepComments: true, KeepProcInsts: true}
 }

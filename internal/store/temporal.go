@@ -61,7 +61,7 @@ func (s *Store) Timeline(id string, expr *xpathlite.Expr) ([]VersionValue, error
 			out[v-1].Value = first.TextContent()
 		}
 		if v > 1 {
-			if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {
+			if err := applyInverse(doc, h.deltas[v-2]); err != nil {
 				return nil, fmt.Errorf("store: timeline %s at version %d: %w", id, v-1, err)
 			}
 		}
@@ -99,7 +99,7 @@ func (s *Store) NodeHistory(id string, xid int64) ([]NodeState, error) {
 		}
 		out[v-1] = st
 		if v > 1 {
-			if err := delta.Apply(doc, h.deltas[v-2].Invert()); err != nil {
+			if err := applyInverse(doc, h.deltas[v-2]); err != nil {
 				return nil, fmt.Errorf("store: history %s at version %d: %w", id, v-1, err)
 			}
 		}
@@ -221,7 +221,9 @@ func (s *Store) Aggregate(id string, from, to int) (*delta.Delta, error) {
 		return nil, err
 	}
 	if from > to {
-		d = d.Invert()
+		if d, err = d.Invert(); err != nil {
+			return nil, fmt.Errorf("store: aggregate %s %d..%d: %w", id, from, to, err)
+		}
 	}
 	return d, nil
 }

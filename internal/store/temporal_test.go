@@ -189,7 +189,10 @@ func TestQueryDeltaDocumentsViaStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deltaDoc := d.ToDoc()
+	deltaDoc, err := d.ToDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ups := xpathlite.MustCompile(`/delta/update/new`).Select(deltaDoc)
 	if len(ups) == 0 {
 		t.Fatal("no updates found in delta document")

@@ -13,7 +13,8 @@
 //	fmt.Print(d)                        // human-readable ops
 //	xml, _ := d.MarshalText()           // the delta as an XML document
 //	v2, _ := xydiff.ApplyClone(oldDoc, d)          // == newDoc
-//	v1, _ := xydiff.ApplyClone(v2, d.Invert())     // == oldDoc
+//	inv, _ := d.Invert()
+//	v1, _ := xydiff.ApplyClone(v2, inv)            // == oldDoc
 //
 // The facade re-exports the building blocks; richer APIs live in the
 // internal packages: internal/diff (the BULD algorithm and options),

@@ -30,7 +30,11 @@ func TestFacadeQuickstart(t *testing.T) {
 	if !xydiff.Equal(v2, newDoc) {
 		t.Fatal("apply did not produce the new version")
 	}
-	v1, err := xydiff.ApplyClone(v2, d.Invert())
+	inv, err := d.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := xydiff.ApplyClone(v2, inv)
 	if err != nil {
 		t.Fatal(err)
 	}
