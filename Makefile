@@ -1,8 +1,19 @@
 # The pre-PR gate: `make check` is what CI runs and what every change
-# should pass locally before review.
+# should pass locally before review. Gate order, cheapest signal first:
+#
+#   1. fmt        — gofmt, no-op diff required
+#   2. vet        — `go vet` then `xyvet`, the repo's own analyzer suite
+#                   (internal/analysis: nopanic, lockbalance, ctxflow,
+#                   errwrap, syncorder); any diagnostic fails the gate
+#   3. build      — every package compiles
+#   4. race       — the whole test suite under the race detector,
+#                   including the concurrent Put/Diff/Subscribe stress test
+#   5. fuzz-smoke — every fuzzer briefly, no corpus growth kept
+#
+# scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke server
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke server
 
 check: fmt vet build race fuzz-smoke
 
@@ -12,6 +23,10 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/xyvet ./...
+
+xyvet:
+	$(GO) run ./cmd/xyvet ./...
 
 build:
 	$(GO) build ./...

@@ -125,7 +125,10 @@ func BenchmarkFig6_UnixDiffRatio(b *testing.B) {
 // snapshots of a whole web site. The default page count keeps the bench
 // quick; xybench -full site runs the paper's 14000-page scale.
 func BenchmarkSiteSnapshot(b *testing.B) {
-	oldDoc, newDoc := changesim.SiteSnapshotPair(7, 2_000)
+	oldDoc, newDoc, err := changesim.SiteSnapshotPair(7, 2_000)
+	if err != nil {
+		b.Fatal(err)
+	}
 	size := len(oldDoc.String())
 	var coreNS int64
 	b.ResetTimer()

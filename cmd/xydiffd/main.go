@@ -132,6 +132,9 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	}
 
 	cfg.logger.Info("shutting down")
+	// The serve ctx is already canceled here; the shutdown deadline must
+	// come from a fresh context or Shutdown would abort immediately.
+	//xyvet:allow ctxflow -- graceful-shutdown context must outlive the canceled serve ctx
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {

@@ -65,9 +65,12 @@ func run(docPath, deltaPath, outPath string, reverse bool) error {
 		return err
 	}
 	d, err := delta.Parse(f)
-	f.Close()
+	closeErr := f.Close()
 	if err != nil {
 		return err
+	}
+	if closeErr != nil {
+		return closeErr
 	}
 	if reverse {
 		if d, err = d.Invert(); err != nil {

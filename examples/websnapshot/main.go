@@ -24,7 +24,10 @@ func main() {
 	flag.Parse()
 
 	fmt.Printf("generating two snapshots of a %d-page site...\n", *pages)
-	oldDoc, newDoc := changesim.SiteSnapshotPair(2002, *pages)
+	oldDoc, newDoc, err := changesim.SiteSnapshotPair(2002, *pages)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	oldText := oldDoc.String()
 	newText := newDoc.String()

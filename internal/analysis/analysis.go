@@ -1,0 +1,212 @@
+// Package analysis is xydiff's domain-specific static-analysis suite.
+// It encodes, as mechanical checks over the go/ast + go/types view of
+// the code, the invariants the change-control stack depends on: no
+// panics escaping library packages, balanced per-document lock usage in
+// the store, context propagation through the diff and the server,
+// errors wrapped as they cross package boundaries, and the durable-write
+// ordering of the journal (append + fsync happens-before the in-memory
+// commit and the snapshot rename).
+//
+// The suite is built only on the standard toolchain packages (go/ast,
+// go/parser, go/token, go/types) — no external analysis framework — and
+// is driven by cmd/xyvet, which `make vet` and `make check` run over
+// the whole module.
+//
+// A finding can be suppressed at a specific line with a directive
+// comment on that line or the line directly above it:
+//
+//	//xyvet:allow <analyzer>[,<analyzer>...] -- reason
+//
+// The analyzer list may be "all". The reason after "--" is optional but
+// encouraged; suppressions are deliberate, reviewed exceptions (for
+// example the Must* compile-or-panic idiom, or a function that hands a
+// locked structure to its caller).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the short identifier used in reports and in
+	// //xyvet:allow directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer
+	// encodes.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzed package to an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// Path is the import path of the package under analysis.
+	Path string
+	// Info holds the type-checker results for the package. Fields are
+	// always non-nil maps, but entries may be missing when the package
+	// had type errors; analyzers must degrade gracefully.
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the checker has no entry
+// for it (syntax the type checker rejected).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"-"`
+	Message  string         `json:"message"`
+
+	// Flattened position for the machine-readable -json output.
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// String renders the go-vet-style single-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package, filters findings
+// suppressed by //xyvet:allow directives, and returns the rest sorted
+// by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := collectDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Path:     pkg.Path,
+				Info:     pkg.Info,
+				report: func(d Diagnostic) {
+					if allowed.allows(d.Position, d.Analyzer) {
+						return
+					}
+					d.File = d.Position.Filename
+					d.Line = d.Position.Line
+					d.Column = d.Position.Column
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directiveKey identifies one source line.
+type directiveKey struct {
+	file string
+	line int
+}
+
+// directives maps source lines to the analyzers allowed there.
+type directives map[directiveKey]map[string]bool
+
+// allows reports whether a finding by analyzer at pos is suppressed: a
+// directive on the same line or the line directly above covers it.
+func (ds directives) allows(pos token.Position, analyzer string) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names, ok := ds[directiveKey{pos.Filename, line}]; ok {
+			if names["all"] || names[analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//xyvet:allow"
+
+// collectDirectives scans every comment of the package for
+// //xyvet:allow directives.
+func collectDirectives(pkg *Package) directives {
+	ds := make(directives)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Everything after "--" is a human-readable reason.
+				names, _, _ := strings.Cut(text, "--")
+				pos := pkg.Fset.Position(c.Pos())
+				key := directiveKey{pos.Filename, pos.Line}
+				if ds[key] == nil {
+					ds[key] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(names, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						ds[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// All returns the full xyvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoPanic,
+		LockBalance,
+		CtxFlow,
+		ErrWrap,
+		SyncOrder,
+	}
+}

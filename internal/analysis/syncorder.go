@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SyncOrder encodes the store's durable-write ordering (journal.go):
+// within any function of a package named "store",
+//
+//  1. the write-ahead append (journalAppend) must happen before the
+//     in-memory commit — assignments to the history's latest/versions
+//     fields and the observer callback — so a version is never
+//     acknowledged or observable before it is journaled;
+//  2. the snapshot (saveHistory) must happen before the journal segment
+//     it covers is retired (journalRetire), so a crash between the two
+//     still finds every version in either the snapshot or the journal;
+//  3. in temp-file-plus-rename writers (functions using CreateTemp),
+//     the fsync (Sync) must happen before the Rename that publishes the
+//     file, or the rename can land with unflushed content.
+//
+// The check compares source order of the calls within one function —
+// exactly the property a refactor of Put/Checkpoint could silently
+// break.
+var SyncOrder = &Analyzer{
+	Name: "syncorder",
+	Doc:  "store ordering: journal append before commit, snapshot before journal retire, fsync before rename",
+	Run:  runSyncOrder,
+}
+
+func runSyncOrder(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() != "store" {
+		return
+	}
+	for _, f := range pass.Files {
+		if f.Name.Name != "store" {
+			return
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSyncOrder(pass, fn)
+		}
+	}
+}
+
+// callSites records source positions of the calls and commit writes a
+// function performs, in document order.
+type callSites struct {
+	appends    []token.Pos // journalAppend(...)
+	commits    []token.Pos // x.latest = / x.versions = / x.versions++ / s.obs(...)
+	snapshots  []token.Pos // saveHistory(...)
+	retires    []token.Pos // journalRetire(...)
+	syncs      []token.Pos // x.Sync()
+	renames    []token.Pos // x.Rename(...)
+	hasTmpFile bool        // x.CreateTemp(...) seen
+}
+
+func checkSyncOrder(pass *Pass, fn *ast.FuncDecl) {
+	var sites callSites
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch calleeName(node) {
+			case "journalAppend":
+				sites.appends = append(sites.appends, node.Pos())
+			case "saveHistory":
+				sites.snapshots = append(sites.snapshots, node.Pos())
+			case "journalRetire":
+				sites.retires = append(sites.retires, node.Pos())
+			case "Sync":
+				sites.syncs = append(sites.syncs, node.Pos())
+			case "Rename":
+				sites.renames = append(sites.renames, node.Pos())
+			case "CreateTemp":
+				sites.hasTmpFile = true
+			case "obs":
+				sites.commits = append(sites.commits, node.Pos())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if isCommitField(lhs) {
+					sites.commits = append(sites.commits, node.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if isCommitField(node.X) {
+				sites.commits = append(sites.commits, node.Pos())
+			}
+		}
+		return true
+	})
+
+	reportBefore := func(later []token.Pos, earlier []token.Pos, what string) {
+		if len(later) == 0 || len(earlier) == 0 {
+			return
+		}
+		first := earlier[0]
+		for _, p := range earlier[1:] {
+			if p < first {
+				first = p
+			}
+		}
+		for _, p := range later {
+			if p < first {
+				pass.Reportf(p, "%s (durable-write ordering, see internal/store/journal.go)", what)
+			}
+		}
+	}
+	reportBefore(sites.commits, sites.appends,
+		"in-memory commit before the journal append: a crash would acknowledge a version the journal never saw")
+	reportBefore(sites.retires, sites.snapshots,
+		"journal retired before the covering snapshot is written: a crash here loses versions")
+	if sites.hasTmpFile {
+		reportBefore(sites.renames, sites.syncs,
+			"rename publishes the file before Sync flushes it: a crash can leave the published path with lost content")
+	}
+}
+
+// calleeName extracts the bare called-function name: f(...) -> "f",
+// x.f(...) -> "f".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isCommitField matches selector targets of the in-memory commit:
+// <expr>.latest and <expr>.versions.
+func isCommitField(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "latest" || sel.Sel.Name == "versions"
+}

@@ -164,7 +164,10 @@ type Fig6Summary struct {
 // Fig6 runs the web-corpus experiment with count document pairs.
 func Fig6(count int, seed int64) ([]Fig6Point, Fig6Summary, error) {
 	rng := rand.New(rand.NewSource(seed))
-	corpus := changesim.WebCorpus(rng, count)
+	corpus, err := changesim.WebCorpus(rng, count)
+	if err != nil {
+		return nil, Fig6Summary{}, err
+	}
 	var out []Fig6Point
 	var sum Fig6Summary
 	var totalRatio float64
@@ -243,7 +246,10 @@ type SiteResult struct {
 // Site diffs two synthetic snapshots of a web site with the given page
 // count (the paper's www.inria.fr had about fourteen thousand pages).
 func Site(pages int, seed int64) (SiteResult, error) {
-	oldDoc, newDoc := changesim.SiteSnapshotPair(seed, pages)
+	oldDoc, newDoc, err := changesim.SiteSnapshotPair(seed, pages)
+	if err != nil {
+		return SiteResult{}, err
+	}
 	size := len(oldDoc.String())
 	r, err := diff.DiffDetailed(oldDoc, newDoc, diff.Options{})
 	if err != nil {

@@ -206,7 +206,10 @@ func TestCatalogOfSize(t *testing.T) {
 
 func TestWebCorpus(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
-	docs := WebCorpus(rng, 12)
+	docs, err := WebCorpus(rng, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(docs) != 12 {
 		t.Fatalf("corpus size = %d", len(docs))
 	}
@@ -226,7 +229,10 @@ func TestWebCorpus(t *testing.T) {
 }
 
 func TestSiteSnapshotPair(t *testing.T) {
-	oldDoc, newDoc := SiteSnapshotPair(1, 200)
+	oldDoc, newDoc, err := SiteSnapshotPair(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dom.Equal(oldDoc, newDoc) {
 		t.Fatal("snapshots identical")
 	}

@@ -1,6 +1,7 @@
 package changesim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -22,7 +23,7 @@ type CorpusDoc struct {
 // log-normal distribution centered near 20 KB — "the average size of an
 // XML document on the web is about twenty kilobytes" — with a weekly
 // change process of a few percent per node.
-func WebCorpus(rng *rand.Rand, count int) []CorpusDoc {
+func WebCorpus(rng *rand.Rand, count int) ([]CorpusDoc, error) {
 	docs := make([]CorpusDoc, 0, count)
 	for i := 0; i < count; i++ {
 		size := lognormalSize(rng, 20_000, 1.2)
@@ -49,12 +50,11 @@ func WebCorpus(rng *rand.Rand, count int) []CorpusDoc {
 		}
 		res, err := Simulate(doc, p)
 		if err != nil {
-			// The simulator only fails on non-document input.
-			panic(err)
+			return nil, fmt.Errorf("changesim: corpus document %d (%s): %w", i, kind, err)
 		}
 		docs = append(docs, CorpusDoc{Old: doc, New: res.New, Kind: kind})
 	}
-	return docs
+	return docs, nil
 }
 
 // lognormalSize draws a byte size with the given median and sigma,
@@ -73,7 +73,7 @@ func lognormalSize(rng *rand.Rand, median float64, sigma float64) int {
 // SiteSnapshotPair generates the Section 6.2 headline workload: two
 // snapshots of a ~14000-page web site (about five megabytes of XML),
 // the second snapshot reflecting a week of site evolution.
-func SiteSnapshotPair(seed int64, pages int) (*dom.Node, *dom.Node) {
+func SiteSnapshotPair(seed int64, pages int) (*dom.Node, *dom.Node, error) {
 	rng := rand.New(rand.NewSource(seed))
 	oldDoc := Site(rng, pages)
 	res, err := Simulate(oldDoc, Params{
@@ -84,7 +84,7 @@ func SiteSnapshotPair(seed int64, pages int) (*dom.Node, *dom.Node) {
 		Seed:       seed + 1,
 	})
 	if err != nil {
-		panic(err)
+		return nil, nil, fmt.Errorf("changesim: site snapshot pair: %w", err)
 	}
-	return oldDoc, res.New
+	return oldDoc, res.New, nil
 }

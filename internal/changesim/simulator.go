@@ -133,7 +133,9 @@ func Simulate(doc *dom.Node, p Params) (*Result, error) {
 			if textAdjacent(n, pos, sub.Type == dom.Text) {
 				continue
 			}
-			n.InsertAt(pos, sub)
+			if err := n.InsertAt(pos, sub); err != nil {
+				return nil, fmt.Errorf("changesim: move: %w", err)
+			}
 			stats.Moves++
 			continue
 		}
@@ -142,7 +144,9 @@ func Simulate(doc *dom.Node, p Params) (*Result, error) {
 		// copied from a sibling, cousin or ancestor.
 		if rng.Intn(3) == 0 && !textAdjacent(n, pos, true) {
 			counter++
-			n.InsertAt(pos, dom.NewText(fmt.Sprintf("original text %d", counter)))
+			if err := n.InsertAt(pos, dom.NewText(fmt.Sprintf("original text %d", counter))); err != nil {
+				return nil, fmt.Errorf("changesim: insert: %w", err)
+			}
 			stats.Inserts++
 			continue
 		}
@@ -152,7 +156,9 @@ func Simulate(doc *dom.Node, p Params) (*Result, error) {
 			counter++
 			el.Append(dom.NewText(fmt.Sprintf("original text %d", counter)))
 		}
-		n.InsertAt(pos, el)
+		if err := n.InsertAt(pos, el); err != nil {
+			return nil, fmt.Errorf("changesim: insert: %w", err)
+		}
 		stats.Inserts++
 	}
 

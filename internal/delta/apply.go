@@ -133,11 +133,9 @@ func Apply(doc *dom.Node, d *Delta) (err error) {
 			delete(pending, p)
 			sort.SliceStable(group, func(i, j int) bool { return group[i].pos < group[j].pos })
 			for _, at := range group {
-				if at.pos < 0 || at.pos > len(parent.Children) {
-					return fmt.Errorf("delta: attach at %d[%d]: position out of range (parent has %d children)",
-						p, at.pos, len(parent.Children))
+				if err := parent.InsertAt(at.pos, at.node); err != nil {
+					return fmt.Errorf("delta: attach at %d[%d]: %w", p, at.pos, err)
 				}
-				parent.InsertAt(at.pos, at.node)
 				// Newly reachable nodes become attachment targets for
 				// later passes (moves into inserted subtrees).
 				dom.WalkPre(at.node, func(x *dom.Node) bool {

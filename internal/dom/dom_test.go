@@ -1,6 +1,7 @@
 package dom
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -198,7 +199,9 @@ func TestInsertRemoveDetach(t *testing.T) {
 	p := NewElement("p")
 	a, b, c := NewElement("a"), NewElement("b"), NewElement("c")
 	p.Append(a, c)
-	p.InsertAt(1, b)
+	if err := p.InsertAt(1, b); err != nil {
+		t.Fatalf("InsertAt: %v", err)
+	}
 	if p.Children[0] != a || p.Children[1] != b || p.Children[2] != c {
 		t.Fatalf("InsertAt misplaced children: %v", p.Children)
 	}
@@ -225,12 +228,48 @@ func TestInsertRemoveDetach(t *testing.T) {
 
 func TestInsertAtBounds(t *testing.T) {
 	p := NewElement("p")
-	defer func() {
-		if recover() == nil {
-			t.Error("InsertAt out of range did not panic")
+	if err := p.InsertAt(1, NewElement("x")); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("InsertAt(1) on empty parent = %v, want ErrOutOfRange", err)
+	}
+	if err := p.InsertAt(-1, NewElement("x")); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("InsertAt(-1) = %v, want ErrOutOfRange", err)
+	}
+	if len(p.Children) != 0 {
+		t.Errorf("failed InsertAt mutated the tree: %d children", len(p.Children))
+	}
+	if err := p.InsertAt(0, NewElement("x")); err != nil {
+		t.Errorf("InsertAt(0) = %v, want nil", err)
+	}
+}
+
+// TestNamespaceLexicalRoundTrip pins the lexical-form reconstruction
+// of namespaced names: declared prefixes are restored, default-namespace
+// names stay unprefixed, and an undeclared prefix — which encoding/xml
+// reports verbatim in Space — is kept, so the canonical output always
+// reparses (a fuzzer-found `<A:0/>` once serialized as the invalid
+// `<0/>`).
+func TestNamespaceLexicalRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`<A:0/>`,
+		`<e A:0="x"/>`,
+		`<a xmlns="u"><b/></a>`,
+		`<p:a xmlns:p="u"><p:b q="1"/></p:a>`,
+	} {
+		doc, err := ParseString(src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", src, err)
+			continue
 		}
-	}()
-	p.InsertAt(1, NewElement("x"))
+		out := doc.String()
+		re, err := ParseString(out)
+		if err != nil {
+			t.Errorf("%s: canonical output %q does not reparse: %v", src, out, err)
+			continue
+		}
+		if !Equal(doc, re) {
+			t.Errorf("%s: reparse of %q differs: %s", src, out, re.String())
+		}
+	}
 }
 
 func TestAttributeMutation(t *testing.T) {

@@ -164,19 +164,29 @@ func ParseWithOptions(r io.Reader, opts ParseOptions) (*Node, error) {
 }
 
 // nsStack reconstructs the lexical prefix of namespaced names: one
-// frame per open element, mapping namespace URI -> declared prefix.
+// frame per open element, recording the prefixes and the default
+// namespace that element declares.
 type nsStack struct {
-	frames []map[string]string
+	frames []nsFrame
+}
+
+type nsFrame struct {
+	prefixes map[string]string // namespace URI -> declared prefix
+	def      string            // xmlns="uri" at this element
+	hasDef   bool
 }
 
 func (s *nsStack) push(attrs []xml.Attr) {
-	var frame map[string]string
+	var frame nsFrame
 	for _, a := range attrs {
-		if a.Name.Space == "xmlns" { // xmlns:prefix="uri"
-			if frame == nil {
-				frame = make(map[string]string, 2)
+		switch {
+		case a.Name.Space == "xmlns": // xmlns:prefix="uri"
+			if frame.prefixes == nil {
+				frame.prefixes = make(map[string]string, 2)
 			}
-			frame[a.Value] = a.Name.Local
+			frame.prefixes[a.Value] = a.Name.Local
+		case a.Name.Space == "" && a.Name.Local == "xmlns": // xmlns="uri"
+			frame.def, frame.hasDef = a.Value, true
 		}
 	}
 	s.frames = append(s.frames, frame)
@@ -192,16 +202,30 @@ func (s *nsStack) pop() {
 // URI is the default namespace or undeclared).
 func (s *nsStack) prefix(uri string) string {
 	for i := len(s.frames) - 1; i >= 0; i-- {
-		if p, ok := s.frames[i][uri]; ok {
+		if p, ok := s.frames[i].prefixes[uri]; ok {
 			return p
 		}
 	}
 	return ""
 }
 
-// elemName renders an element name in its lexical form. A name whose
-// URI has no declared prefix belongs to the default namespace: the
-// local name alone reproduces the source.
+// defaultURI returns the in-scope default namespace ("" when none is
+// declared).
+func (s *nsStack) defaultURI() string {
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		if s.frames[i].hasDef {
+			return s.frames[i].def
+		}
+	}
+	return ""
+}
+
+// elemName renders an element name in its lexical form: a declared
+// prefix is restored, a name in the default namespace is the local
+// name alone. A Space with no declaration in scope is encoding/xml's
+// verbatim undeclared prefix; it must be kept, or the lexical form
+// (and, for local parts an unprefixed name could not start, the
+// name's validity) is lost.
 func (s *nsStack) elemName(n xml.Name) string {
 	if n.Space == "" {
 		return n.Local
@@ -209,12 +233,17 @@ func (s *nsStack) elemName(n xml.Name) string {
 	if p := s.prefix(n.Space); p != "" {
 		return p + ":" + n.Local
 	}
-	return n.Local
+	if n.Space == s.defaultURI() {
+		return n.Local
+	}
+	return n.Space + ":" + n.Local
 }
 
 // attrName renders an attribute name. Go reports xmlns declarations
 // with Space "xmlns" (prefixed) or Local "xmlns" (default); other
-// attributes carry the resolved URI like elements do.
+// attributes carry the resolved URI like elements do — except that
+// attributes never inherit the default namespace, so an undeclared
+// Space is always a verbatim prefix to keep.
 func (s *nsStack) attrName(n xml.Name) string {
 	switch {
 	case n.Space == "":
@@ -225,6 +254,6 @@ func (s *nsStack) attrName(n xml.Name) string {
 		if p := s.prefix(n.Space); p != "" {
 			return p + ":" + n.Local
 		}
-		return n.Local
+		return n.Space + ":" + n.Local
 	}
 }

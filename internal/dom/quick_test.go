@@ -108,7 +108,9 @@ func TestQuickDetachInsertInverse(t *testing.T) {
 		before := rt.Doc.String()
 		parent := n.Parent
 		idx := n.Detach()
-		parent.InsertAt(idx, n)
+		if err := parent.InsertAt(idx, n); err != nil {
+			return false
+		}
 		return rt.Doc.String() == before
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

@@ -35,7 +35,7 @@ func WriteFile(path string, n *Node) error {
 		return err
 	}
 	if _, err := n.WriteTo(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one to report
 		return err
 	}
 	return f.Close()

@@ -334,12 +334,13 @@ func (ff *faultyFile) Close() error {
 	rule, err := ff.fs.step(OpClose)
 	if err != nil {
 		// Even a crashed filesystem lets the handle go; the underlying
-		// file must not leak in long test runs.
-		ff.f.Close()
+		// file must not leak in long test runs. The injected error is
+		// the one the test wants to see.
+		_ = ff.f.Close()
 		return err
 	}
 	if rule != nil {
-		ff.f.Close()
+		_ = ff.f.Close()
 		return rule.err()
 	}
 	return ff.f.Close()

@@ -412,7 +412,12 @@ func (m *merger) attachPending() {
 				continue
 			}
 			pos := m.anchorPosition(parent, item)
-			parent.InsertAt(pos, item.node)
+			if err := parent.InsertAt(pos, item.node); err != nil {
+				// anchorPosition clamps into range, so this means the
+				// merged tree is already inconsistent; keep the data at
+				// the end rather than losing it.
+				parent.Append(item.node)
+			}
 			dom.WalkPre(item.node, func(x *dom.Node) bool {
 				if x.XID != 0 {
 					m.index[x.XID] = x
@@ -478,7 +483,9 @@ func (m *merger) rollbackMove(item pendingAttach) {
 	if pos > len(parent.Children) {
 		pos = len(parent.Children)
 	}
-	parent.InsertAt(pos, item.node)
+	if err := parent.InsertAt(pos, item.node); err != nil {
+		parent.Append(item.node) // never lose the rolled-back subtree
+	}
 }
 
 func orphanOp(item pendingAttach) delta.Op {

@@ -22,7 +22,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// Past WriteHeader the status is committed; an encode error just
+	// means the client hung up.
+	_ = enc.Encode(v)
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
@@ -214,7 +216,7 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 func writeDoc(w http.ResponseWriter, doc *dom.Node, version int) {
 	w.Header().Set("Content-Type", "application/xml")
 	w.Header().Set("X-Xydiff-Version", strconv.Itoa(version))
-	doc.WriteTo(w)
+	_, _ = doc.WriteTo(w) // headers are out; a write error means the client hung up
 }
 
 func (s *Server) handleGetLatest(w http.ResponseWriter, r *http.Request) {
@@ -273,7 +275,7 @@ func (s *Server) handleGetDelta(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/xml")
-	d.WriteTo(w)
+	_, _ = d.WriteTo(w) // headers are out; a write error means the client hung up
 }
 
 // ---------------------------------------------------------------------------

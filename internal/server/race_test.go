@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRaceConcurrentPutDiffSubscribe hammers one document from three
+// directions at once — writers PUT new versions (each PUT runs a diff
+// against the predecessor), readers pull versions, single and
+// aggregated deltas, and subscribers churn the subscription table while
+// polling and streaming alerts for the same document. The test is the
+// gate's dedicated -race workload: it asserts ordinary functional
+// invariants (every acknowledged version reconstructs, every delta
+// parses), but its real job is to put the store's per-document locks,
+// the diff worker pool, and the alerter's subscriber list under
+// simultaneous load so `go test -race ./...` can observe them.
+func TestRaceConcurrentPutDiffSubscribe(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const docID = "hot"
+	const writers = 4
+	const putsPerWriter = 8
+	const readers = 4
+	const subscribers = 3
+
+	makeDoc := func(writer, seq int) string {
+		var b strings.Builder
+		b.WriteString("<Catalog><Category>")
+		// Every PUT changes the tree so every diff produces operations.
+		for k := 0; k <= seq; k++ {
+			fmt.Fprintf(&b, "<Product><Name>w%d-s%d-%d</Name></Product>", writer, seq, k)
+		}
+		b.WriteString("</Category></Catalog>")
+		return b.String()
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+
+	// Readers: latest, every reachable version, single and aggregated
+	// deltas, racing against the writers below.
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, hdr, body := doReq(t, "GET", ts.URL+"/docs/"+docID, "")
+				if code == http.StatusNotFound {
+					continue // no version yet
+				}
+				if code != http.StatusOK {
+					t.Errorf("GET latest: %d %s", code, body)
+					return
+				}
+				var latest int
+				if _, err := fmt.Sscan(hdr.Get("X-Xydiff-Version"), &latest); err != nil || latest < 1 {
+					t.Errorf("latest version header %q: %v", hdr.Get("X-Xydiff-Version"), err)
+					return
+				}
+				for v := 1; v <= latest; v++ {
+					if code, _, body := doReq(t, "GET", fmt.Sprintf("%s/docs/%s/versions/%d", ts.URL, docID, v), ""); code != http.StatusOK {
+						t.Errorf("GET version %d/%d: %d %s", v, latest, code, body)
+						return
+					}
+				}
+				for v := 1; v < latest; v++ {
+					if code, _, body := doReq(t, "GET", fmt.Sprintf("%s/docs/%s/deltas/%d", ts.URL, docID, v), ""); code != http.StatusOK {
+						t.Errorf("GET delta %d/%d: %d %s", v, latest, code, body)
+						return
+					}
+				}
+				if latest > 1 {
+					if code, _, body := doReq(t, "GET", fmt.Sprintf("%s/docs/%s/deltas/1..%d", ts.URL, docID, latest), ""); code != http.StatusOK {
+						t.Errorf("GET aggregated delta 1..%d: %d %s", latest, code, body)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Subscribers: create, list, poll alerts, stream alerts, delete —
+	// churning the alerter while PUTs evaluate it.
+	for sgor := 0; sgor < subscribers; sgor++ {
+		readerWG.Add(1)
+		go func(sgor int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				subID := fmt.Sprintf("sub-%d-%d", sgor, i)
+				sub := fmt.Sprintf(`{"id":%q,"doc":%q,"path":"Category/Product","kinds":["insert","update","delete"]}`, subID, docID)
+				if code, _, body := doReq(t, "POST", ts.URL+"/subscriptions", sub); code != http.StatusCreated {
+					t.Errorf("POST subscription: %d %s", code, body)
+					return
+				}
+				if code, _, body := doReq(t, "GET", ts.URL+"/subscriptions", ""); code != http.StatusOK {
+					t.Errorf("GET subscriptions: %d %s", code, body)
+					return
+				}
+				if code, _, body := doReq(t, "GET", ts.URL+"/docs/"+docID+"/alerts", ""); code != http.StatusOK {
+					t.Errorf("GET alerts: %d %s", code, body)
+					return
+				} else if body != "" {
+					var alerts []alertJSON
+					if err := json.Unmarshal([]byte(body), &alerts); err != nil {
+						t.Errorf("bad alerts body %q: %v", body, err)
+						return
+					}
+				}
+				if code, _, body := doReq(t, "DELETE", ts.URL+"/subscriptions/"+subID, ""); code != http.StatusOK {
+					t.Errorf("DELETE subscription: %d %s", code, body)
+					return
+				}
+			}
+		}(sgor)
+	}
+
+	// One streaming alert follower held open across the writer burst.
+	streamDone := make(chan struct{})
+	streamReq, err := http.NewRequest("GET", ts.URL+"/docs/"+docID+"/alerts?follow=30s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamResp, err := http.DefaultClient.Do(streamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(streamDone)
+		sc := bufio.NewScanner(streamResp.Body)
+		for sc.Scan() { // drain until the body is closed below
+		}
+	}()
+
+	// Writers: concurrent PUTs of the same document. Conflicting writes
+	// are serialized by the store; every 2xx must carry a version.
+	var writerWG sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		writerWG.Add(1)
+		go func(wtr int) {
+			defer writerWG.Done()
+			for seq := 0; seq < putsPerWriter; seq++ {
+				code, _, body := doReq(t, "PUT", ts.URL+"/docs/"+docID, makeDoc(wtr, seq))
+				if code != http.StatusCreated && code != http.StatusOK {
+					t.Errorf("PUT w%d s%d: %d %s", wtr, seq, code, body)
+					return
+				}
+				var putResp struct {
+					Version int `json:"version"`
+				}
+				if err := json.Unmarshal([]byte(body), &putResp); err != nil || putResp.Version < 1 {
+					t.Errorf("PUT w%d s%d response %q: %v", wtr, seq, body, err)
+					return
+				}
+			}
+		}(wtr)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	_ = streamResp.Body.Close() // unblocks the follower's scanner
+	<-streamDone
+
+	// Quiet now: the full history must be acknowledged and consistent.
+	code, hdr, body := doReq(t, "GET", ts.URL+"/docs/"+docID, "")
+	if code != http.StatusOK {
+		t.Fatalf("final GET latest: %d %s", code, body)
+	}
+	if got := hdr.Get("X-Xydiff-Version"); got != fmt.Sprint(writers*putsPerWriter) {
+		t.Fatalf("final version = %s, want %d", got, writers*putsPerWriter)
+	}
+	for v := 1; v <= writers*putsPerWriter; v++ {
+		code, _, vbody := doReq(t, "GET", fmt.Sprintf("%s/docs/%s/versions/%d", ts.URL, docID, v), "")
+		if code != http.StatusOK {
+			t.Fatalf("final GET version %d: %d %s", v, code, vbody)
+		}
+		if !strings.HasPrefix(vbody, "<Catalog>") {
+			t.Fatalf("version %d is not a catalog: %.80s", v, vbody)
+		}
+	}
+}

@@ -175,3 +175,54 @@ func TestJournalAppendFailureLeavesStoreConsistent(t *testing.T) {
 		t.Fatalf("reopened store has %d versions, want 2", got)
 	}
 }
+
+// TestCrashAfterCheckpointThenPut pins the recovery order for a
+// document whose id sorts after "journal-": ReadDir lists the journal
+// file before the snapshot directory, and recovery must still load the
+// snapshot first — the post-checkpoint journal holds only delta
+// records, which are meaningless without the snapshot's base. A crash
+// after checkpoint+Put once refused to reopen with "delta record for
+// version 3 but no base version".
+func TestCrashAfterCheckpointThenPut(t *testing.T) {
+	for _, id := range []string{"t", "aaa"} { // after and before "journal-"
+		dir := t.TempDir()
+		s, err := Open(dir, diff.Options{}, Durability{Sync: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Put(id, parse(t, `<r><v>1</v></r>`)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Put(id, parse(t, `<r><v>1</v><v>2</v></r>`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil { // snapshot written, journal retired
+			t.Fatal(err)
+		}
+		if _, _, err := s.Put(id, parse(t, `<r><v>1</v><v>2</v><v>3</v></r>`)); err != nil {
+			t.Fatal(err)
+		}
+		// Crash: no Checkpoint, no Close — the fresh journal holds only
+		// the delta record for v3.
+		s2, err := Open(dir, diff.Options{}, Durability{Sync: SyncOff})
+		if err != nil {
+			t.Fatalf("id %q: reopen after crash: %v", id, err)
+		}
+		if got := s2.Versions(id); got != 3 {
+			t.Fatalf("id %q: reopened store has %d versions, want 3", id, got)
+		}
+		doc, err := s2.Version(id, 3)
+		if err != nil {
+			t.Fatalf("id %q: reconstruct v3: %v", id, err)
+		}
+		if want := `<r><v>1</v><v>2</v><v>3</v></r>`; doc.String() != want {
+			t.Fatalf("id %q: v3 = %s, want %s", id, doc.String(), want)
+		}
+		rec := s2.RecoveryStats()
+		if rec.SnapshotVersions != 2 || rec.JournalRecords != 1 {
+			t.Fatalf("id %q: recovery stats = %+v, want 2 snapshot versions + 1 journal record", id, rec)
+		}
+		s2.Close()
+		s.Close()
+	}
+}

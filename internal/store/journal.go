@@ -218,7 +218,7 @@ func (w *journalWriter) append(rec []byte, syncNow bool) (int64, error) {
 	defer w.mu.Unlock()
 	if _, err := w.f.Write(rec); err != nil {
 		if terr := w.fs.Truncate(w.path, w.off); terr != nil {
-			return 0, fmt.Errorf("journal append failed (%w) and truncate back to %d failed (%v)", err, w.off, terr)
+			return 0, fmt.Errorf("journal append failed (%w) and truncate back to %d failed (%w)", err, w.off, terr)
 		}
 		return 0, fmt.Errorf("journal append: %w", err)
 	}
@@ -240,8 +240,11 @@ func (w *journalWriter) sync() error {
 func (w *journalWriter) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.f.Sync()
-	return w.f.Close()
+	syncErr := w.f.Sync()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
 }
 
 // journalFor returns (creating if needed) the journal writer for id.

@@ -77,31 +77,39 @@ func Open(dir string, opts diff.Options, dur Durability) (*Store, error) {
 	return s, nil
 }
 
-// recoverInto rebuilds s.docs from dir: snapshots first, then journal
-// replay. Shared by Open (which keeps writing to dir) and Load (which
-// only reads).
+// recoverInto rebuilds s.docs from dir: every snapshot first, then
+// every journal replayed on top. The two passes matter — ReadDir is
+// lexicographic, and a document whose id sorts after "journal-" lists
+// its journal before its snapshot directory; interleaving would replay
+// a post-checkpoint (delta-only) journal against a base that is not
+// loaded yet. Shared by Open (which keeps writing to dir) and Load
+// (which only reads).
 func recoverInto(s *Store, fsys faultfs.FS, dir string) error {
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
-		switch {
-		case e.IsDir():
-			id := unescapeID(e.Name())
-			h, versions, err := loadSnapshot(fsys, filepath.Join(dir, e.Name()), id)
-			if err != nil {
-				return err
-			}
-			if h != nil {
-				s.docs[id] = h
-				s.recovery.SnapshotVersions += versions
-			}
-		case strings.HasPrefix(e.Name(), journalPrefix) && strings.HasSuffix(e.Name(), journalSuffix):
-			id := unescapeID(strings.TrimSuffix(strings.TrimPrefix(e.Name(), journalPrefix), journalSuffix))
-			if err := s.replayJournal(fsys, filepath.Join(dir, e.Name()), id); err != nil {
-				return err
-			}
+		if !e.IsDir() {
+			continue
+		}
+		id := unescapeID(e.Name())
+		h, versions, err := loadSnapshot(fsys, filepath.Join(dir, e.Name()), id)
+		if err != nil {
+			return err
+		}
+		if h != nil {
+			s.docs[id] = h
+			s.recovery.SnapshotVersions += versions
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), journalPrefix) || !strings.HasSuffix(e.Name(), journalSuffix) {
+			continue
+		}
+		id := unescapeID(strings.TrimSuffix(strings.TrimPrefix(e.Name(), journalPrefix), journalSuffix))
+		if err := s.replayJournal(fsys, filepath.Join(dir, e.Name()), id); err != nil {
+			return err
 		}
 	}
 	s.recovery.Documents = len(s.docs)

@@ -168,6 +168,7 @@ func (s *Store) reading(id string) (*history, error) {
 		h.mu.RUnlock()
 		return nil, fmt.Errorf("store: %w %q", ErrUnknownDocument, id)
 	}
+	//xyvet:allow lockbalance -- deliberate handoff: the caller receives h read-locked and must RUnlock it
 	return h, nil
 }
 
@@ -464,11 +465,11 @@ func writeAtomic(fsys faultfs.FS, path string, write func(io.Writer) (int64, err
 	tmp := f.Name()
 	defer fsys.Remove(tmp) // no-op once renamed
 	if _, err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one to report
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is the one to report
 		return err
 	}
 	if err := f.Close(); err != nil {

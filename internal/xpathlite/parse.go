@@ -115,10 +115,13 @@ func Compile(src string) (*Expr, error) {
 	return e, nil
 }
 
-// MustCompile is Compile, panicking on error; for fixed expressions.
+// MustCompile is Compile, panicking on error; for fixed expressions
+// known at compile time (subscription tables, tests). Runtime input
+// must go through Compile.
 func MustCompile(src string) *Expr {
 	e, err := Compile(src)
 	if err != nil {
+		//xyvet:allow nopanic -- the Must* compile-or-panic contract, like regexp.MustCompile
 		panic(err)
 	}
 	return e
@@ -234,7 +237,7 @@ func (p *parser) parsePredicate() (pred, error) {
 		p.next()
 		n, err := parsePosition(t.text)
 		if err != nil {
-			return nil, fmt.Errorf("xpathlite: %v in %q", err, p.src)
+			return nil, fmt.Errorf("xpathlite: %w in %q", err, p.src)
 		}
 		return positionPred{n: n}, nil
 	}
@@ -318,7 +321,7 @@ func (p *parser) parseCompare() (pred, error) {
 	case tokNumber:
 		num, err := parseNumber(lit.text)
 		if err != nil {
-			return nil, fmt.Errorf("xpathlite: %v in %q", err, p.src)
+			return nil, fmt.Errorf("xpathlite: %w in %q", err, p.src)
 		}
 		return comparePred{lhs: lhs, op: op, rhs: lit.text, rhsIsNum: true, rhsNumber: num}, nil
 	default:

@@ -1,0 +1,41 @@
+#!/bin/sh
+# scripts/check.sh — the full pre-PR gate as one standalone script
+# (the same sequence `make check` runs, usable where make is absent).
+#
+# Order, cheapest signal first:
+#   1. build       every package compiles
+#   2. go vet      the toolchain's own analyzers
+#   3. xyvet       the repo's domain analyzers (internal/analysis);
+#                  any diagnostic is a hard failure
+#   4. race tests  the whole suite under -race, including the
+#                  concurrent Put/Diff/Subscribe stress test
+#   5. fuzz smoke  every fuzzer briefly (FUZZTIME, default 10s)
+#
+# Exits nonzero on the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+FUZZTIME=${FUZZTIME:-10s}
+
+echo "==> build"
+$GO build ./...
+
+echo "==> go vet"
+$GO vet ./...
+
+echo "==> xyvet"
+$GO run ./cmd/xyvet ./...
+
+echo "==> go test -race"
+$GO test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per fuzzer)"
+$GO test ./internal/dom -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
+$GO test ./internal/htmlize -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
+$GO test ./internal/xpathlite -run '^$' -fuzz '^FuzzCompile$' -fuzztime "$FUZZTIME"
+$GO test ./internal/delta -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
+$GO test ./internal/delta -run '^$' -fuzz '^FuzzApply$' -fuzztime "$FUZZTIME"
+
+echo "==> check clean"
