@@ -13,7 +13,7 @@
 # scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet xyvet build test race bench fuzz-smoke server
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke server crawl-demo
 
 check: fmt vet build race fuzz-smoke
 
@@ -54,3 +54,8 @@ fuzz-smoke:
 # Run the change-control daemon locally (data in ./xydiffd-data).
 server:
 	$(GO) run ./cmd/xydiffd -addr :8427
+
+# Watch the adaptive crawler converge on a simulated changing web
+# (Figure 1's first box, self-contained, ~5 seconds).
+crawl-demo:
+	$(GO) run ./examples/crawl

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/crawl"
+	"xydiff/internal/diff"
+	"xydiff/internal/server"
+	"xydiff/internal/store"
+)
+
+// TestRunCrawlsIntoDaemon is the two-process pipeline end to end: a
+// changesim origin, a real xydiffd handler as the target, and xycrawl's
+// run() in between. Fetched versions land in the daemon's store,
+// mutations become diffed versions, and the registry with its learned
+// validators survives shutdown.
+func TestRunCrawlsIntoDaemon(t *testing.T) {
+	origin, err := changesim.ServeCorpus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	paths := origin.Paths()
+
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	daemon := server.New(store.New(diff.Options{}), server.Config{Logger: quiet})
+	daemonSrv := httptest.NewServer(daemon.Handler())
+	defer func() {
+		daemonSrv.Close()
+		daemon.Close()
+	}()
+
+	cfg := config{
+		target:       daemonSrv.URL,
+		registry:     filepath.Join(t.TempDir(), "sources.json"),
+		adds:         []string{"d0=" + originSrv.URL + paths[0], "d1=" + originSrv.URL + paths[1]},
+		min:          20 * time.Millisecond,
+		max:          100 * time.Millisecond,
+		fetchTimeout: 2 * time.Second,
+		logger:       quiet,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, cfg) }()
+
+	get := func(path string) int {
+		resp, err := http.Get(daemonSrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode
+	}
+	waitCode := func(path string, want int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for get(path) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s to answer %d", path, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Both documents arrive as version 1.
+	waitCode("/docs/d0/versions/1", http.StatusOK)
+	waitCode("/docs/d1/versions/1", http.StatusOK)
+	// A mutation at the origin becomes a diffed version 2 at the daemon.
+	if err := origin.Mutate(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitCode("/docs/d0/versions/2", http.StatusOK)
+	waitCode("/docs/d0/deltas/1", http.StatusOK)
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The saved registry resumes with the learned validators.
+	reg, err := crawl.OpenRegistry(cfg.registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("saved registry has %d sources, want 2", reg.Len())
+	}
+	for _, id := range []string{"d0", "d1"} {
+		src, ok := reg.Get(id)
+		if !ok {
+			t.Fatalf("source %s missing from saved registry", id)
+		}
+		if src.ETag == "" || src.Fetches == 0 {
+			t.Errorf("source %s saved without learned state: %+v", id, src)
+		}
+	}
+}
+
+// TestRunRejectsEmptyAndMalformed covers the startup error paths.
+func TestRunRejectsEmptyAndMalformed(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx := context.Background()
+	if err := run(ctx, config{target: "http://127.0.0.1:0", registry: "", logger: quiet}); err == nil {
+		t.Error("run with no sources succeeded")
+	}
+	cfg := config{
+		target:   "http://127.0.0.1:0",
+		registry: "",
+		adds:     []string{"bad=ftp://nope.example/x"},
+		logger:   quiet,
+	}
+	if err := run(ctx, cfg); err == nil {
+		t.Error("run with a non-http source succeeded")
+	}
+}

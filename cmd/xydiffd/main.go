@@ -20,6 +20,12 @@
 //	         (default always)
 //	-journal-sync-interval flush period under -journal-sync=interval
 //	         (default 100ms)
+//	-crawl   enable the acquisition layer: sources registered via the
+//	         /sources API are polled on the adaptive schedule and fed
+//	         through the same parse/diff pipeline as PUTs
+//	-crawl-min / -crawl-max bounds of the adaptive revisit interval
+//	         (defaults 15s / 1h)
+//	-crawl-concurrency fetcher pool size (default min(GOMAXPROCS, 8))
 //
 // Every PUT is journaled to -dir before it is acknowledged; under
 // -journal-sync=always an acknowledged version survives even kill -9
@@ -41,9 +47,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"xydiff/internal/crawl"
 	"xydiff/internal/diff"
 	"xydiff/internal/server"
 	"xydiff/internal/store"
@@ -56,6 +64,11 @@ type config struct {
 	syncInterval time.Duration
 	server       server.Config
 	logger       *slog.Logger
+
+	crawl            bool
+	crawlMin         time.Duration
+	crawlMax         time.Duration
+	crawlConcurrency int
 }
 
 func main() {
@@ -68,6 +81,10 @@ func main() {
 	flag.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "max document `bytes` per PUT (0 = default 16MiB)")
 	flag.StringVar(&cfg.journalSync, "journal-sync", "always", "journal fsync `policy`: always, interval or off")
 	flag.DurationVar(&cfg.syncInterval, "journal-sync-interval", 100*time.Millisecond, "flush `period` under -journal-sync=interval")
+	flag.BoolVar(&cfg.crawl, "crawl", false, "enable the crawler (sources registered via /sources)")
+	flag.DurationVar(&cfg.crawlMin, "crawl-min", 0, "minimum revisit `interval` (0 = default 15s)")
+	flag.DurationVar(&cfg.crawlMax, "crawl-max", 0, "maximum revisit `interval` (0 = default 1h)")
+	flag.IntVar(&cfg.crawlConcurrency, "crawl-concurrency", 0, "fetcher pool size (0 = min(GOMAXPROCS, 8))")
 	flag.Parse()
 	cfg.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg.server.Logger = cfg.logger
@@ -102,6 +119,32 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	}
 	rec := st.RecoveryStats()
 	srv := server.New(st, cfg.server)
+
+	// The crawler persists its source registry next to the store, so a
+	// restarted daemon resumes with the learned schedules and validators.
+	var reg *crawl.Registry
+	crawlDone := make(chan struct{})
+	close(crawlDone) // replaced when crawling is enabled
+	if cfg.crawl {
+		reg, err = crawl.OpenRegistry(filepath.Join(cfg.dir, "crawl-sources.json"))
+		if err != nil {
+			return err
+		}
+		crawler := srv.EnableCrawl(reg, crawl.Config{
+			MinInterval: cfg.crawlMin,
+			MaxInterval: cfg.crawlMax,
+			Concurrency: cfg.crawlConcurrency,
+			Logger:      cfg.logger,
+		})
+		crawlDone = make(chan struct{})
+		go func() {
+			defer close(crawlDone)
+			if err := crawler.Run(ctx); err != nil {
+				cfg.logger.Error("crawler", "err", err)
+			}
+		}()
+		cfg.logger.Info("crawler enabled", "sources", reg.Len())
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -142,6 +185,12 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cfg.logger.Error("serve", "err", err)
+	}
+	<-crawlDone // fetchers stopped: no more ingests can reach the pool
+	if reg != nil {
+		if err := reg.Save(); err != nil {
+			cfg.logger.Error("saving crawl registry", "err", err)
+		}
 	}
 	srv.Close() // drain queued diffs so the checkpoint below sees them all
 	if err := st.Checkpoint(); err != nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"xydiff/internal/changesim"
 	"xydiff/internal/diff"
 	"xydiff/internal/server"
 	"xydiff/internal/store"
@@ -126,6 +128,93 @@ func TestShutdownWithoutTraffic(t *testing.T) {
 	_, shutdown, done := startDaemon(t, dir)
 	shutdown()
 	waitExit(t, done)
+}
+
+// startCrawlDaemon is startDaemon with the acquisition layer enabled on
+// a fast schedule.
+func startCrawlDaemon(t *testing.T, dir string) (url string, shutdown context.CancelFunc, done chan error) {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg := config{
+		addr:     "127.0.0.1:0",
+		dir:      dir,
+		logger:   quiet,
+		server:   server.Config{Logger: quiet},
+		crawl:    true,
+		crawlMin: 20 * time.Millisecond,
+		crawlMax: 100 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, cfg, func(a string) { addrc <- a }) }()
+	select {
+	case a := <-addrc:
+		return "http://" + a, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+		return "", nil, nil
+	}
+}
+
+// TestCrawlFlagEndToEnd: a -crawl daemon polls an origin into its
+// store, and the source registry (with its learned validators) survives
+// a graceful restart alongside the documents.
+func TestCrawlFlagEndToEnd(t *testing.T) {
+	origin, err := changesim.ServeCorpus(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	path := origin.Paths()[0]
+
+	dir := filepath.Join(t.TempDir(), "data")
+	url, shutdown, done := startCrawlDaemon(t, dir)
+
+	src := `{"id":"feed","url":"` + originSrv.URL + path + `"}`
+	req, err := http.NewRequest("POST", url+"/sources", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /sources: %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := get(t, url+"/docs/feed/versions/1"); code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("crawled document never reached the store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	shutdown()
+	waitExit(t, done)
+
+	// Restart: the registry comes back from disk next to the store.
+	url, shutdown, done = startCrawlDaemon(t, dir)
+	defer func() { shutdown(); waitExit(t, done) }()
+	code, body := get(t, url+"/sources")
+	if code != 200 || !strings.Contains(body, `"feed"`) {
+		t.Fatalf("sources after restart: %d %s", code, body)
+	}
+	if !strings.Contains(body, `"etag"`) {
+		t.Errorf("restarted source lost its validators: %s", body)
+	}
+	if code, _ := get(t, url+"/docs/feed/versions/1"); code != 200 {
+		t.Errorf("crawled document lost across restart: %d", code)
+	}
 }
 
 var listenAddrRe = regexp.MustCompile(`msg="xydiffd listening" addr=(\S+)`)

@@ -1,0 +1,214 @@
+package crawl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// fetchOutcome is what one successful HTTP attempt produced.
+type fetchOutcome struct {
+	notModified  bool
+	changed      bool // ingester installed a new version
+	bytes        int64
+	etag         string
+	lastModified string
+}
+
+// transientError marks a failure worth retrying (network trouble, 5xx,
+// 429, ingest backpressure) as opposed to a permanent one (4xx, body
+// too large) that only the next scheduled cycle should revisit.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func transient(err error) error { return &transientError{err: err} }
+
+func isTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// fetchCycle runs one complete visit of the source: up to MaxAttempts
+// HTTP attempts with backoff between them, then the success or failure
+// bookkeeping, and finally rescheduling. A source removed mid-flight is
+// dropped silently.
+func (c *Crawler) fetchCycle(ctx context.Context, id string) {
+	src, ok := c.reg.Get(id)
+	if !ok {
+		return
+	}
+	var out fetchOutcome
+	var err error
+	for attempt := 0; ; attempt++ {
+		out, err = c.fetchOnce(ctx, src)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		if !isTransient(err) || attempt+1 >= c.cfg.MaxAttempts {
+			break
+		}
+		c.metrics.addRetry()
+		delay := c.cfg.Retry.Delay(attempt, nil) // in-cycle pacing; jitter comes from the cross-cycle path
+		c.log.Debug("crawl retry", "source", id, "attempt", attempt+1, "delay", delay, "err", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+	if ctx.Err() != nil {
+		return // shutting down: leave the source state as it was
+	}
+	if err != nil {
+		c.failCycle(id, err)
+		return
+	}
+	c.succeedCycle(id, out)
+}
+
+// fetchOnce is one conditional GET attempt against the source.
+func (c *Crawler) fetchOnce(ctx context.Context, src Source) (fetchOutcome, error) {
+	u, err := url.Parse(src.URL)
+	if err != nil {
+		return fetchOutcome{}, fmt.Errorf("parse url: %w", err)
+	}
+	if wait := c.reserveHost(u.Host); wait > 0 {
+		select {
+		case <-ctx.Done():
+			return fetchOutcome{}, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, src.URL, nil)
+	if err != nil {
+		return fetchOutcome{}, fmt.Errorf("build request: %w", err)
+	}
+	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	if src.ETag != "" {
+		req.Header.Set("If-None-Match", src.ETag)
+	}
+	if src.LastModified != "" {
+		req.Header.Set("If-Modified-Since", src.LastModified)
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		// Timeouts, refused connections, mid-body hangs: all transient.
+		return fetchOutcome{}, transient(fmt.Errorf("fetch %s: %w", src.URL, err))
+	}
+	defer func() { _ = resp.Body.Close() }() // best-effort; the read below saw every byte that matters
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		return fetchOutcome{notModified: true}, nil
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		return fetchOutcome{}, transient(fmt.Errorf("fetch %s: status %d", src.URL, resp.StatusCode))
+	default:
+		return fetchOutcome{}, fmt.Errorf("fetch %s: status %d", src.URL, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes+1))
+	if err != nil {
+		// Truncated or reset bodies are transient: the next attempt may
+		// read the document whole.
+		return fetchOutcome{}, transient(fmt.Errorf("read %s: %w", src.URL, err))
+	}
+	if int64(len(body)) > c.cfg.MaxBodyBytes {
+		return fetchOutcome{}, fmt.Errorf("fetch %s: body exceeds %d bytes", src.URL, c.cfg.MaxBodyBytes)
+	}
+	if resp.ContentLength > 0 && int64(len(body)) < resp.ContentLength {
+		return fetchOutcome{}, transient(fmt.Errorf("read %s: truncated body (%d of %d bytes)",
+			src.URL, len(body), resp.ContentLength))
+	}
+	changed, err := c.ingest(ctx, src.ID, body)
+	if err != nil {
+		// Ingest failures (parse limits, store backpressure) retry like
+		// network trouble: the content may be fine on the next attempt.
+		return fetchOutcome{}, transient(fmt.Errorf("ingest %s: %w", src.ID, err))
+	}
+	return fetchOutcome{
+		changed:      changed,
+		bytes:        int64(len(body)),
+		etag:         resp.Header.Get("ETag"),
+		lastModified: resp.Header.Get("Last-Modified"),
+	}, nil
+}
+
+// succeedCycle records a completed visit: counters, validators, the
+// change-rate observation, circuit reset, and the adaptive reschedule.
+func (c *Crawler) succeedCycle(id string, out fetchOutcome) {
+	changed := out.changed && !out.notModified
+	c.rates.ObserveVisit(id, changed)
+	c.metrics.addFetch(out)
+	interval := c.revisit(id)
+	next := time.Now().Add(interval)
+	wasOpen := false
+	ok := c.reg.update(id, func(s *Source) {
+		wasOpen = s.CircuitOpen(time.Now())
+		s.Fetches++
+		if out.notModified {
+			s.NotModified++
+		} else {
+			if out.etag != "" || out.lastModified != "" {
+				s.ETag, s.LastModified = out.etag, out.lastModified
+			}
+			if changed {
+				s.Changes++
+			}
+		}
+		s.Failures = 0
+		s.CircuitOpenUntil = time.Time{}
+		s.Interval = interval
+		s.NextFetch = next
+	})
+	if !ok {
+		return // removed mid-flight
+	}
+	if wasOpen {
+		c.log.Info("crawl circuit closed", "source", id)
+	}
+	c.schedule(id, next)
+}
+
+// failCycle records a failed visit and either backs the source off or
+// opens its circuit.
+func (c *Crawler) failCycle(id string, err error) {
+	c.metrics.addFailure()
+	now := time.Now()
+	var next time.Time
+	opened := false
+	failures := 0
+	ok := c.reg.update(id, func(s *Source) {
+		s.Errors++
+		s.Failures++
+		failures = s.Failures
+		if s.Failures >= c.cfg.CircuitThreshold {
+			// Open (or re-arm) the circuit: park the source for the
+			// cooldown, then let exactly one probe through.
+			opened = !s.CircuitOpen(now)
+			s.CircuitOpenUntil = now.Add(c.cfg.CircuitCooldown)
+			next = s.CircuitOpenUntil
+		} else {
+			next = now.Add(c.backoffDelay(s.Failures))
+		}
+		s.NextFetch = next
+	})
+	if !ok {
+		return
+	}
+	if opened {
+		c.metrics.addCircuitOpen()
+		c.log.Warn("crawl circuit opened", "source", id, "failures", failures,
+			"cooldown", c.cfg.CircuitCooldown, "err", err)
+	} else {
+		c.log.Warn("crawl fetch failed", "source", id, "failures", failures,
+			"next", next.Format(time.RFC3339), "err", err)
+	}
+	c.schedule(id, next)
+}

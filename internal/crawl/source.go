@@ -1,0 +1,230 @@
+package crawl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Source is one registered acquisition target: a URL polled on the
+// adaptive schedule, feeding one document id in the store. All fields
+// are persisted with the registry so a restarted crawler resumes with
+// its learned intervals and validators instead of re-fetching the
+// world.
+type Source struct {
+	// ID is the document id the fetched versions are installed under.
+	ID string `json:"id"`
+	// URL is the polled HTTP(S) location.
+	URL string `json:"url"`
+
+	// Interval is the current adaptive revisit interval.
+	Interval time.Duration `json:"interval"`
+	// NextFetch is when the source is next due.
+	NextFetch time.Time `json:"nextFetch"`
+
+	// ETag and LastModified are the validators from the last 200
+	// response, replayed as If-None-Match / If-Modified-Since so an
+	// unchanged document costs one conditional GET and no parse/diff.
+	ETag         string `json:"etag,omitempty"`
+	LastModified string `json:"lastModified,omitempty"`
+
+	// Failures counts consecutive failed fetch cycles; reaching the
+	// circuit threshold opens the circuit until CircuitOpenUntil.
+	Failures         int       `json:"failures,omitempty"`
+	CircuitOpenUntil time.Time `json:"circuitOpenUntil,omitempty"`
+
+	// Lifetime counters, kept for /sources introspection.
+	Fetches     int64 `json:"fetches"`
+	NotModified int64 `json:"notModified"`
+	Changes     int64 `json:"changes"`
+	Errors      int64 `json:"errors"`
+}
+
+// CircuitOpen reports whether the source's circuit is open at now.
+func (s Source) CircuitOpen(now time.Time) bool {
+	return s.CircuitOpenUntil.After(now)
+}
+
+// Registry is the persisted set of sources — the crawler's counterpart
+// of the store's document table, saved alongside it. All methods are
+// safe for concurrent use. Mutations happen through the registry so the
+// crawler, the HTTP endpoints, and persistence always see one state.
+type Registry struct {
+	mu   sync.Mutex
+	path string // "" = memory-only
+	srcs map[string]*Source
+}
+
+// NewRegistry returns an empty, memory-only registry.
+func NewRegistry() *Registry {
+	return &Registry{srcs: make(map[string]*Source)}
+}
+
+// OpenRegistry loads the registry persisted at path, or returns an
+// empty one bound to path when the file does not exist yet. Save writes
+// back to the same path.
+func OpenRegistry(path string) (*Registry, error) {
+	r := NewRegistry()
+	r.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crawl: read registry: %w", err)
+	}
+	var list []Source
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("crawl: parse registry %s: %w", path, err)
+	}
+	for i := range list {
+		s := list[i]
+		if err := validateSource(s); err != nil {
+			return nil, fmt.Errorf("crawl: registry %s: %w", path, err)
+		}
+		r.srcs[s.ID] = &s
+	}
+	return r, nil
+}
+
+func validateSource(s Source) error {
+	if s.ID == "" {
+		return fmt.Errorf("source needs an id")
+	}
+	u, err := url.Parse(s.URL)
+	if err != nil {
+		return fmt.Errorf("source %s: parse url: %w", s.ID, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("source %s: url must be http or https, got %q", s.ID, s.URL)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("source %s: url %q has no host", s.ID, s.URL)
+	}
+	return nil
+}
+
+// Add registers src (replacing any source with the same id) and returns
+// the stored copy. A zero Interval or NextFetch means "let the
+// scheduler decide" — the crawler fills them on first fetch.
+func (r *Registry) Add(src Source) (Source, error) {
+	if err := validateSource(src); err != nil {
+		return Source{}, fmt.Errorf("crawl: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := src
+	r.srcs[s.ID] = &s
+	return s, nil
+}
+
+// Remove deletes the source, reporting whether it existed.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.srcs[id]
+	delete(r.srcs, id)
+	return ok
+}
+
+// Get returns a copy of the source.
+func (r *Registry) Get(id string) (Source, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.srcs[id]
+	if !ok {
+		return Source{}, false
+	}
+	return *s, true
+}
+
+// List returns copies of all sources, sorted by id.
+func (r *Registry) List() []Source {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Source, 0, len(r.srcs))
+	for _, s := range r.srcs {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports how many sources are registered.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.srcs)
+}
+
+// OpenCircuits counts sources whose circuit is open at now.
+func (r *Registry) OpenCircuits(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.srcs {
+		if s.CircuitOpenUntil.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// update applies f to the live source under the registry lock,
+// reporting whether the source still exists (it may have been removed
+// while a fetch was in flight).
+func (r *Registry) update(id string, f func(*Source)) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.srcs[id]
+	if !ok {
+		return false
+	}
+	f(s)
+	return true
+}
+
+// Save persists the registry to its path (no-op when memory-only) with
+// the store's crash-safe idiom: temp file, fsync, rename.
+func (r *Registry) Save() error {
+	r.mu.Lock()
+	list := make([]Source, 0, len(r.srcs))
+	for _, s := range r.srcs {
+		list = append(list, *s)
+	}
+	path := r.path
+	r.mu.Unlock()
+	if path == "" {
+		return nil
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("crawl: encode registry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".crawl-sources-*")
+	if err != nil {
+		return fmt.Errorf("crawl: save registry: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close() // the write error is the one worth reporting
+		return fmt.Errorf("crawl: save registry: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close() // the sync error is the one worth reporting
+		return fmt.Errorf("crawl: sync registry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("crawl: close registry temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("crawl: publish registry: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package retry is the repo's one retry/backoff policy: capped
+// exponential growth with proportional jitter. The crawler uses it to
+// space re-attempts against flaky origins and to pace circuit probes;
+// the HTTP server uses it to grow the Retry-After hint while its diff
+// queue keeps shedding load. Centralizing the arithmetic keeps every
+// retry loop honest about the three properties that matter — growth is
+// bounded (Max), synchronized callers are de-correlated (Jitter), and
+// recovery starts over (Reset).
+package retry
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a capped exponential backoff. The zero value picks
+// the defaults noted on each field.
+type Policy struct {
+	// Base is the delay before the first retry (default 500ms).
+	Base time.Duration
+	// Max caps the grown (pre-jitter) delay (default 1m). Jitter never
+	// pushes a returned delay beyond Max.
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2; values below 1
+	// fall back to the default).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter of its value, so
+	// callers that fail together do not retry together. 0 picks the
+	// default 0.2; negative disables jitter; values above 1 clamp to 1.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 500 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Minute
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = 0.2
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the backoff before retry attempt n (0-based: attempt 0
+// is the first retry, delayed by about Base). rng drives the jitter; a
+// nil rng disables it, making Delay deterministic. The result is always
+// in (0, Max].
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			break // already at the cap; avoid float overflow
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if rng != nil && p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if d < 1 {
+		d = 1 // never zero: a zero delay turns a backoff loop into a busy loop
+	}
+	return time.Duration(d)
+}
+
+// Backoff is a stateful retry pacer: each Next call returns the delay
+// for one more consecutive failure, and Reset (on success) starts the
+// progression over. Safe for concurrent use.
+type Backoff struct {
+	policy Policy
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	attempt int
+}
+
+// New returns a Backoff over p, with jitter seeded from seed (so tests
+// can pin the sequence). p is kept as given — Delay normalizes it on
+// every call, so a disabled jitter (negative) stays disabled.
+func New(p Policy, seed int64) *Backoff {
+	return &Backoff{policy: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay for the current attempt and advances the
+// attempt counter.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.policy.Delay(b.attempt, b.rng)
+	b.attempt++
+	return d
+}
+
+// Attempt reports how many Next calls happened since the last Reset.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Reset restarts the progression; the next Next returns ~Base again.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.attempt = 0
+}

@@ -1,0 +1,111 @@
+package retry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsExponentiallyAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Multiplier: 2, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// A huge attempt count must not overflow past the cap.
+	if got := p.Delay(10_000, nil); got != 2*time.Second {
+		t.Errorf("Delay(10000) = %v, want cap %v", got, 2*time.Second)
+	}
+}
+
+func TestDelayJitterBoundsAndSpread(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Multiplier: 2, Jitter: 0.2}
+	rng := rand.New(rand.NewSource(42))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(2, rng) // nominal 4s, jittered ±20%
+		lo, hi := 3200*time.Millisecond, 4800*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("jitter produced only %d distinct delays in 200 draws", len(seen))
+	}
+}
+
+func TestDelayJitterNeverExceedsMax(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 4 * time.Second, Multiplier: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		if d := p.Delay(9, rng); d > p.Max {
+			t.Fatalf("delay %v exceeds Max %v", d, p.Max)
+		}
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Base != 500*time.Millisecond || p.Max != time.Minute || p.Multiplier != 2 || p.Jitter != 0.2 {
+		t.Errorf("zero-value defaults = %+v", p)
+	}
+	// The zero-value policy must produce sane delays out of the box.
+	if d := (Policy{}).Delay(0, nil); d != 500*time.Millisecond {
+		t.Errorf("zero-value Delay(0) = %v", d)
+	}
+}
+
+func TestMaxBelowBaseClampsToBase(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 100 * time.Millisecond, Jitter: -1}
+	if d := p.Delay(0, nil); d != time.Second {
+		t.Errorf("Delay(0) = %v, want Base %v when Max < Base", d, time.Second)
+	}
+}
+
+func TestBackoffAdvanceAndReset(t *testing.T) {
+	b := New(Policy{Base: 10 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: -1}, 1)
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("first Next = %v", d)
+	}
+	if d := b.Next(); d != 20*time.Millisecond {
+		t.Fatalf("second Next = %v", d)
+	}
+	if got := b.Attempt(); got != 2 {
+		t.Fatalf("Attempt = %d, want 2", got)
+	}
+	b.Reset()
+	if got := b.Attempt(); got != 0 {
+		t.Fatalf("Attempt after Reset = %d, want 0", got)
+	}
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want %v", d, 10*time.Millisecond)
+	}
+}
+
+func TestBackoffConcurrentUse(t *testing.T) {
+	b := New(Policy{}, 1)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				b.Next()
+				b.Reset()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

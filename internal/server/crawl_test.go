@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xydiff/internal/crawl"
+)
+
+// startTestCrawler enables crawling on s and runs the crawler until the
+// test ends.
+func startTestCrawler(t *testing.T, s *Server, cfg crawl.Config) *crawl.Crawler {
+	t.Helper()
+	c := s.EnableCrawl(crawl.NewRegistry(), cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := c.Run(ctx); err != nil {
+			t.Errorf("crawler: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return c
+}
+
+// TestCrawlConditionalGetBypassesDiff wires a crawler into the server
+// against a static origin and proves the 304 path never reaches the
+// diff pipeline: the diff counter stays frozen while the not-modified
+// counter climbs.
+func TestCrawlConditionalGetBypassesDiff(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"fixed"`)
+		if r.Header.Get("If-None-Match") == `"fixed"` {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		fmt.Fprint(w, catalogV1)
+	}))
+	defer origin.Close()
+
+	s, ts := newTestServer(t, Config{})
+	c := startTestCrawler(t, s, crawl.Config{
+		MinInterval:     15 * time.Millisecond,
+		MaxInterval:     60 * time.Millisecond,
+		Concurrency:     2,
+		PerHostInterval: -1,
+	})
+
+	// Seed one versioning diff through the normal PUT path so the diff
+	// counter is provably live before crawling starts.
+	if code, _, body := doReq(t, "PUT", ts.URL+"/docs/seed", catalogV1); code != http.StatusCreated {
+		t.Fatalf("PUT seed v1: %d %s", code, body)
+	}
+	if code, _, body := doReq(t, "PUT", ts.URL+"/docs/seed", catalogV2); code != http.StatusOK {
+		t.Fatalf("PUT seed v2: %d %s", code, body)
+	}
+	diffsBefore := s.Metrics().DiffCount()
+	if diffsBefore == 0 {
+		t.Fatal("diff counter not live after two PUTs")
+	}
+
+	// Register the static source over the HTTP API.
+	code, _, body := doReq(t, "POST", ts.URL+"/sources", `{"id":"static","url":"`+origin.URL+`/doc"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /sources: %d %s", code, body)
+	}
+
+	// Wait for the first 200 plus a few revalidations.
+	deadline := time.Now().Add(5 * time.Second)
+	var src crawl.Source
+	for {
+		var ok bool
+		src, ok = c.Registry().Get("static")
+		if ok && src.NotModified >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for 304s: %+v", src)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The initial 200 installed version 1 — which is not a diff — and
+	// every revalidation after it skipped the pipeline entirely.
+	if got := s.Metrics().DiffCount(); got != diffsBefore {
+		t.Errorf("diff counter moved from %d to %d during 304-only crawling", diffsBefore, got)
+	}
+	if code, _, body := doReq(t, "GET", ts.URL+"/docs/static/versions/1", ""); code != http.StatusOK || body != catalogV1 {
+		t.Errorf("crawled document not stored: %d %s", code, body)
+	}
+
+	// The crawler's counters and gauges are all on /metrics.
+	_, _, metricsBody := doReq(t, "GET", ts.URL+"/metrics", "")
+	for _, name := range []string{
+		"xydiffd_crawl_fetches_total",
+		"xydiffd_crawl_not_modified_total",
+		"xydiffd_crawl_ingests_total",
+		"xydiffd_crawl_retries_total",
+		"xydiffd_crawl_failures_total",
+		"xydiffd_crawl_circuit_opens_total",
+		"xydiffd_crawl_open_circuits",
+		"xydiffd_crawl_queue_depth",
+		"xydiffd_crawl_sources",
+	} {
+		if !strings.Contains(metricsBody, "\n"+name+" ") {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if !strings.Contains(metricsBody, "xydiffd_crawl_sources 1") {
+		t.Error("/metrics sources gauge is not 1")
+	}
+
+	// /healthz carries the crawl summary.
+	_, _, healthBody := doReq(t, "GET", ts.URL+"/healthz", "")
+	var health map[string]any
+	if err := json.Unmarshal([]byte(healthBody), &health); err != nil {
+		t.Fatalf("parse healthz: %v", err)
+	}
+	ch, ok := health["crawl"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no crawl block: %s", healthBody)
+	}
+	if ch["sources"].(float64) != 1 {
+		t.Errorf("healthz crawl sources = %v", ch["sources"])
+	}
+}
+
+// TestSourcesAPI covers the CRUD surface: list, get, delete, and the
+// error paths.
+func TestSourcesAPI(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<doc/>")
+	}))
+	defer origin.Close()
+
+	s, ts := newTestServer(t, Config{})
+	startTestCrawler(t, s, crawl.Config{
+		MinInterval:     time.Minute, // nothing needs to be fetched here
+		MaxInterval:     time.Hour,
+		PerHostInterval: -1,
+	})
+
+	// Invalid bodies and URLs are rejected.
+	if code, _, _ := doReq(t, "POST", ts.URL+"/sources", `{"id":"x","url":"ftp://nope"}`); code != http.StatusBadRequest {
+		t.Errorf("bad scheme: code %d", code)
+	}
+	if code, _, _ := doReq(t, "POST", ts.URL+"/sources", `{"id":"x","url":"http://ok.example/x","extra":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: code %d", code)
+	}
+
+	for _, id := range []string{"a", "b"} {
+		body := `{"id":"` + id + `","url":"` + origin.URL + `/` + id + `"}`
+		if code, _, resp := doReq(t, "POST", ts.URL+"/sources", body); code != http.StatusCreated {
+			t.Fatalf("POST source %s: %d %s", id, code, resp)
+		}
+	}
+	code, _, listBody := doReq(t, "GET", ts.URL+"/sources", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /sources: %d", code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal([]byte(listBody), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0]["id"] != "a" || list[1]["id"] != "b" {
+		t.Errorf("list = %s", listBody)
+	}
+
+	if code, _, _ := doReq(t, "GET", ts.URL+"/sources/a", ""); code != http.StatusOK {
+		t.Errorf("GET source a: %d", code)
+	}
+	if code, _, _ := doReq(t, "GET", ts.URL+"/sources/zz", ""); code != http.StatusNotFound {
+		t.Errorf("GET missing source: %d", code)
+	}
+	if code, _, _ := doReq(t, "DELETE", ts.URL+"/sources/a", ""); code != http.StatusOK {
+		t.Errorf("DELETE source a: %d", code)
+	}
+	if code, _, _ := doReq(t, "DELETE", ts.URL+"/sources/a", ""); code != http.StatusNotFound {
+		t.Errorf("DELETE again: %d", code)
+	}
+}
+
+// TestSourcesAPIWithoutCrawler: a server running without the
+// acquisition layer answers the source API with 503.
+func TestSourcesAPIWithoutCrawler(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, probe := range []struct{ method, path, body string }{
+		{"GET", "/sources", ""},
+		{"POST", "/sources", `{"id":"x","url":"http://ok.example/x"}`},
+		{"GET", "/sources/x", ""},
+		{"DELETE", "/sources/x", ""},
+	} {
+		if code, _, _ := doReq(t, probe.method, ts.URL+probe.path, probe.body); code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s without crawler: code %d, want 503", probe.method, probe.path, code)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func storeError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	rec := s.store.RecoveryStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":      "ok",
 		"documents":   len(s.store.IDs()),
 		"uptime":      time.Since(s.started).Round(time.Second).String(),
@@ -61,7 +61,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"tornTails":        rec.TornTails,
 			"journalBytes":     rec.JournalBytes,
 		},
-	})
+	}
+	if s.crawler != nil {
+		cs := s.crawler.Metrics().Snapshot()
+		body["crawl"] = map[string]any{
+			"sources":      cs.Sources,
+			"queueDepth":   cs.QueueDepth,
+			"openCircuits": cs.OpenCircuits,
+			"fetches":      cs.Fetches,
+			"notModified":  cs.NotModified,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -111,6 +122,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "xydiffd_change_delta_doc_ratio %g\n", rep.DeltaRatio())
 	fmt.Fprintln(w, "# TYPE xydiffd_store_documents gauge")
 	fmt.Fprintf(w, "xydiffd_store_documents %d\n", len(s.store.IDs()))
+
+	// Acquisition-layer counters, present whenever crawling is enabled.
+	if s.crawler != nil {
+		s.crawler.Metrics().WritePrometheus(w, "xydiffd_crawl")
+	}
 }
 
 func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
@@ -182,10 +198,18 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	})
 	if submitErr != nil {
 		s.metrics.addRejected()
-		w.Header().Set("Retry-After", "1")
+		// The hint grows with consecutive rejections (retry.Policy) and
+		// resets once a submission gets through: sustained overload
+		// pushes retries further out instead of re-inviting the herd.
+		after := int(s.shedBackoff.Next().Round(time.Second) / time.Second)
+		if after < 1 {
+			after = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(after))
 		writeError(w, http.StatusServiceUnavailable, submitErr.Error())
 		return
 	}
+	s.shedBackoff.Reset()
 	select {
 	case res := <-done:
 		if res.err != nil {
@@ -405,11 +429,19 @@ func (s *Server) handleGetAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	n := alert.NewChanNotifier(256)
+	// The per-stream buffer is bounded (Config.StreamBuffer): a consumer
+	// that reads slower than alerts arrive loses the excess, and the
+	// loss is accounted in xydiffd_alert_stream_dropped_total rather
+	// than stalling the diff path or growing memory.
+	n := alert.NewChanNotifier(s.cfg.StreamBuffer)
 	s.alerter.Attach(n)
 	defer func() {
 		s.alerter.Detach(n)
 		n.Close()
+		if d := n.Dropped(); d > 0 {
+			s.metrics.addStreamDropped(d)
+			s.log.Warn("alert stream dropped", "doc", id, "dropped", d)
+		}
 	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

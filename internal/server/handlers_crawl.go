@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"xydiff/internal/crawl"
+	"xydiff/internal/dom"
+)
+
+// crawlIngest is the crawler's way into the pipeline: the fetched body
+// goes through the same hardened parse limits as an HTTP PUT and its
+// diff rides the same bounded worker pool, so crawled traffic and
+// client traffic compete for — and are shed by — one backpressure
+// budget. A full queue surfaces as a transient error the crawler
+// retries on its backoff schedule.
+func (s *Server) crawlIngest(ctx context.Context, id string, body []byte) (bool, error) {
+	doc, err := dom.ParseWithOptions(bytes.NewReader(body), s.parseOptions())
+	if err != nil {
+		return false, fmt.Errorf("parse %s: %w", id, err)
+	}
+	done := make(chan putResult, 1)
+	if err := s.pool.submit(func() {
+		v, d, err := s.store.PutContext(ctx, id, doc)
+		done <- putResult{version: v, delta: d, err: err}
+	}); err != nil {
+		return false, err
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			return false, res.err
+		}
+		changed := res.version == 1 || (res.delta != nil && !res.delta.Empty())
+		return changed, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// sourceJSON is the wire form of a crawl source: durations and times as
+// strings, plus the live schedule introspection.
+type sourceJSON struct {
+	ID          string  `json:"id"`
+	URL         string  `json:"url"`
+	Interval    string  `json:"interval,omitempty"`
+	NextFetch   string  `json:"nextFetch,omitempty"`
+	ETag        string  `json:"etag,omitempty"`
+	Fetches     int64   `json:"fetches"`
+	NotModified int64   `json:"notModified"`
+	Changes     int64   `json:"changes"`
+	Errors      int64   `json:"errors"`
+	Failures    int64   `json:"failures,omitempty"`
+	CircuitOpen bool    `json:"circuitOpen"`
+	ChangeRate  float64 `json:"changeRate"`
+}
+
+func toSourceJSON(st crawl.Status) sourceJSON {
+	j := sourceJSON{
+		ID:          st.ID,
+		URL:         st.URL,
+		ETag:        st.ETag,
+		Fetches:     st.Fetches,
+		NotModified: st.NotModified,
+		Changes:     st.Changes,
+		Errors:      st.Errors,
+		Failures:    int64(st.Failures),
+		CircuitOpen: st.CircuitOpen(time.Now()),
+		ChangeRate:  st.Rate,
+	}
+	if st.Interval > 0 {
+		j.Interval = st.Interval.String()
+	}
+	if !st.NextFetch.IsZero() {
+		j.NextFetch = st.NextFetch.UTC().Format(time.RFC3339)
+	}
+	return j
+}
+
+// crawlEnabled 503s requests against the source API when the server
+// runs without an acquisition layer.
+func (s *Server) crawlEnabled(w http.ResponseWriter) bool {
+	if s.crawler == nil {
+		writeError(w, http.StatusServiceUnavailable, "crawling is not enabled on this server")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreateSource(w http.ResponseWriter, r *http.Request) {
+	if !s.crawlEnabled(w) {
+		return
+	}
+	var req struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse source: "+err.Error())
+		return
+	}
+	src, err := s.crawler.Add(crawl.Source{ID: req.ID, URL: req.URL})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.log.Info("crawl source added", "id", src.ID, "url", src.URL)
+	writeJSON(w, http.StatusCreated, toSourceJSON(crawl.Status{Source: src, Rate: 0.5}))
+}
+
+func (s *Server) handleListSources(w http.ResponseWriter, r *http.Request) {
+	if !s.crawlEnabled(w) {
+		return
+	}
+	out := []sourceJSON{}
+	for _, st := range s.crawler.Status() {
+		out = append(out, toSourceJSON(st))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSource(w http.ResponseWriter, r *http.Request) {
+	if !s.crawlEnabled(w) {
+		return
+	}
+	for _, st := range s.crawler.Status() {
+		if st.ID == r.PathValue("id") {
+			writeJSON(w, http.StatusOK, toSourceJSON(st))
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no such source")
+}
+
+func (s *Server) handleDeleteSource(w http.ResponseWriter, r *http.Request) {
+	if !s.crawlEnabled(w) {
+		return
+	}
+	if !s.crawler.Remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such source")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}

@@ -16,14 +16,15 @@ import (
 // alert throughput. Change statistics proper (per-label rates, delta
 // size ratios) come from the stats.Collector the server also feeds.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[reqKey]int64
-	latency  *histogram
-	diffs    int64
-	phases   [5]time.Duration
-	rejected int64
-	alerts   int64
-	panics   int64
+	mu            sync.Mutex
+	requests      map[reqKey]int64
+	latency       *histogram
+	diffs         int64
+	phases        [5]time.Duration
+	rejected      int64
+	alerts        int64
+	panics        int64
+	streamDropped int64
 
 	// gauges polled at scrape time
 	queueDepth    func() int
@@ -78,6 +79,19 @@ func (m *Metrics) addAlerts(n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.alerts += int64(n)
+}
+
+func (m *Metrics) addStreamDropped(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streamDropped += int64(n)
+}
+
+// StreamDropped returns how many alerts slow NDJSON consumers lost.
+func (m *Metrics) StreamDropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streamDropped
 }
 
 // DiffCount returns how many versioning diffs have been recorded.
@@ -147,6 +161,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP xydiffd_alerts_total Alerts raised by the subscription system.")
 	fmt.Fprintln(w, "# TYPE xydiffd_alerts_total counter")
 	fmt.Fprintf(w, "xydiffd_alerts_total %d\n", m.alerts)
+
+	fmt.Fprintln(w, "# HELP xydiffd_alert_stream_dropped_total Alerts lost by slow NDJSON stream consumers.")
+	fmt.Fprintln(w, "# TYPE xydiffd_alert_stream_dropped_total counter")
+	fmt.Fprintf(w, "xydiffd_alert_stream_dropped_total %d\n", m.streamDropped)
 
 	fmt.Fprintln(w, "# HELP xydiffd_panics_total Handler panics caught by the recovery middleware.")
 	fmt.Fprintln(w, "# TYPE xydiffd_panics_total counter")

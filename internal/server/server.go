@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"xydiff/internal/alert"
+	"xydiff/internal/crawl"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/retry"
 	"xydiff/internal/stats"
 	"xydiff/internal/store"
 )
@@ -45,6 +47,11 @@ type Config struct {
 	// AlertLogSize is how many recent alerts are kept per document for
 	// the polling endpoint (default 1024).
 	AlertLogSize int
+	// StreamBuffer bounds the per-stream alert buffer of the NDJSON
+	// endpoint; a consumer slower than the alert rate loses the excess
+	// (counted in xydiffd_alert_stream_dropped_total) instead of
+	// backpressuring the diff path (default 256).
+	StreamBuffer int
 	// Logger receives structured request and lifecycle logs (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -72,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.AlertLogSize <= 0 {
 		c.AlertLogSize = 1024
 	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -90,6 +100,17 @@ type Server struct {
 	log       *slog.Logger
 	handler   http.Handler
 	started   time.Time
+
+	// shedBackoff grows the Retry-After hint while the diff queue keeps
+	// rejecting submissions and resets once one gets through, so a
+	// saturated server spreads its retry traffic instead of inviting it
+	// all back one second later.
+	shedBackoff *retry.Backoff
+
+	// crawler is the optional embedded acquisition layer (EnableCrawl);
+	// nil when the server only ingests over HTTP PUT.
+	crawler  *crawl.Crawler
+	crawlReg *crawl.Registry
 }
 
 // New wires a server around st. It installs the store's observer hook,
@@ -107,6 +128,9 @@ func New(st *store.Store, cfg Config) *Server {
 		alertLog:  newAlertLog(cfg.AlertLogSize),
 		log:       cfg.Logger,
 		started:   time.Now(),
+		shedBackoff: retry.New(retry.Policy{
+			Base: time.Second, Max: 30 * time.Second, Multiplier: 2,
+		}, time.Now().UnixNano()),
 	}
 	s.metrics.queueDepth = s.pool.depth
 	s.metrics.queueCapacity = cfg.QueueDepth
@@ -160,5 +184,25 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("POST /subscriptions", s.wrap("sub_create", s.handleCreateSubscription))
 	mux.Handle("GET /subscriptions", s.wrap("sub_list", s.handleListSubscriptions))
 	mux.Handle("DELETE /subscriptions/{id}", s.wrap("sub_delete", s.handleDeleteSubscription))
+	mux.Handle("POST /sources", s.wrap("src_create", s.handleCreateSource))
+	mux.Handle("GET /sources", s.wrap("src_list", s.handleListSources))
+	mux.Handle("GET /sources/{id}", s.wrap("src_get", s.handleGetSource))
+	mux.Handle("DELETE /sources/{id}", s.wrap("src_delete", s.handleDeleteSource))
 	return mux
+}
+
+// EnableCrawl attaches the acquisition layer: sources registered in reg
+// are polled on the adaptive schedule and ingested through the same
+// parse limits and bounded diff pool as HTTP PUTs, and the /sources
+// endpoints come alive. The crawler's change-rate signal is the
+// server's own stats collector, so documents that also receive direct
+// PUTs share one rate history. Call before the handler starts serving;
+// the returned crawler still needs Run (the daemon owns its lifetime).
+func (s *Server) EnableCrawl(reg *crawl.Registry, cfg crawl.Config) *crawl.Crawler {
+	if cfg.Logger == nil {
+		cfg.Logger = s.log
+	}
+	s.crawlReg = reg
+	s.crawler = crawl.New(reg, s.crawlIngest, s.collector, cfg)
+	return s.crawler
 }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gatedWriter is a ResponseWriter standing in for a consumer that stops
+// reading: every body write blocks until the gate opens. It implements
+// http.Flusher so the NDJSON handler accepts it.
+type gatedWriter struct {
+	mu       sync.Mutex
+	header   http.Header
+	code     int
+	buf      bytes.Buffer
+	gate     chan struct{}
+	attempts atomic.Int64
+}
+
+func newGatedWriter() *gatedWriter {
+	return &gatedWriter{header: make(http.Header), gate: make(chan struct{})}
+}
+
+func (w *gatedWriter) Header() http.Header { return w.header }
+
+func (w *gatedWriter) WriteHeader(code int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *gatedWriter) Write(p []byte) (int, error) {
+	w.attempts.Add(1)
+	<-w.gate
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *gatedWriter) Flush() {}
+
+func (w *gatedWriter) release() { close(w.gate) }
+
+func (w *gatedWriter) lines() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, l := range strings.Split(w.buf.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestAlertStreamSlowConsumer pins down the bounded-buffer contract of
+// the NDJSON alert stream: a consumer that stops reading holds at most
+// StreamBuffer alerts plus the one in flight; everything beyond that is
+// dropped, the loss is visible in the drop counter, and the diff path
+// is never stalled.
+func TestAlertStreamSlowConsumer(t *testing.T) {
+	const streamBuffer = 4
+	s, ts := newTestServer(t, Config{StreamBuffer: streamBuffer})
+
+	sub := `{"id":"all","doc":"d","kinds":["insert"]}`
+	if code, _, body := doReq(t, "POST", ts.URL+"/subscriptions", sub); code != http.StatusCreated {
+		t.Fatalf("POST subscription: %d %s", code, body)
+	}
+
+	// Open the stream against a consumer that never reads.
+	w := newGatedWriter()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("GET", "/docs/d/alerts?follow=30s", nil).WithContext(ctx)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		s.Handler().ServeHTTP(w, req)
+	}()
+
+	// Version 1 raises nothing; each later PUT appends one product and
+	// raises exactly one insert alert.
+	product := func(n int) string {
+		var b strings.Builder
+		b.WriteString("<Catalog><Category>")
+		for i := 0; i <= n; i++ {
+			b.WriteString("<Product><Name>p")
+			b.WriteString(strings.Repeat("x", i+1))
+			b.WriteString("</Name></Product>")
+		}
+		b.WriteString("</Category></Catalog>")
+		return b.String()
+	}
+	if code, _, body := doReq(t, "PUT", ts.URL+"/docs/d", product(0)); code != http.StatusCreated {
+		t.Fatalf("PUT v1: %d %s", code, body)
+	}
+
+	// First alert: wait until the handler is wedged writing it to the
+	// stalled consumer, so the buffer accounting below is deterministic.
+	if code, _, body := doReq(t, "PUT", ts.URL+"/docs/d", product(1)); code != http.StatusOK {
+		t.Fatalf("PUT v2: %d %s", code, body)
+	}
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for w.attempts.Load() == 0 {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("stream never tried to write the first alert")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Flood: 14 more alerts against a full pipe. One is in flight,
+	// StreamBuffer fit in the channel, the rest must be dropped — and
+	// every PUT still completes immediately (bounded buffering means the
+	// write path never waits on a consumer).
+	const flood = 14
+	for i := 0; i < flood; i++ {
+		if code, _, body := doReq(t, "PUT", ts.URL+"/docs/d", product(i+2)); code != http.StatusOK {
+			t.Fatalf("PUT flood %d: %d %s", i, code, body)
+		}
+	}
+	raised := 1 + flood
+
+	// Let the consumer drain: the in-flight alert plus the buffered ones
+	// arrive, no more.
+	w.release()
+	wantDelivered := 1 + streamBuffer
+	waitDeadline = time.Now().Add(5 * time.Second)
+	for len(w.lines()) < wantDelivered {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("delivered %d alerts, want %d", len(w.lines()), wantDelivered)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // any extra delivery would be a bug
+	cancel()
+	<-streamDone
+
+	lines := w.lines()
+	if len(lines) != wantDelivered {
+		t.Errorf("delivered %d alerts, want exactly %d (1 in flight + %d buffered)",
+			len(lines), wantDelivered, streamBuffer)
+	}
+	for _, l := range lines {
+		var a struct {
+			Doc  string `json:"doc"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(l), &a); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", l, err)
+		}
+		if a.Doc != "d" || a.Kind != "insert" {
+			t.Errorf("unexpected alert %q", l)
+		}
+	}
+
+	// Drop accounting: delivered + dropped covers everything raised.
+	dropped := s.Metrics().StreamDropped()
+	if want := int64(raised - wantDelivered); dropped != want {
+		t.Errorf("dropped = %d, want %d (raised %d, delivered %d)", dropped, want, raised, wantDelivered)
+	}
+
+	// And the loss is on /metrics.
+	_, _, metricsBody := doReq(t, "GET", ts.URL+"/metrics", "")
+	if !strings.Contains(metricsBody, "xydiffd_alert_stream_dropped_total") {
+		t.Error("/metrics missing xydiffd_alert_stream_dropped_total")
+	}
+}
