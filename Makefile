@@ -9,13 +9,15 @@
 #   4. race       — the whole test suite under the race detector,
 #                   including the concurrent Put/Diff/Subscribe stress test
 #   5. fuzz-smoke — every fuzzer briefly, no corpus growth kept
+#   6. bench-check — quick bench5 run gated against BENCH_5.json
+#                   (coarse tolerances; catches gross perf regressions)
 #
 # scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet xyvet build test race bench fuzz-smoke server crawl-demo
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke bench-json bench-check server crawl-demo
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build race fuzz-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,6 +42,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Regenerate the committed benchmark baseline (BENCH_5.json): per-
+# workload ns/op + B/op, delta-quality ratios and the Workers sweep.
+bench-json:
+	$(GO) run ./cmd/xybench -json BENCH_5.json bench5
+
+# Gate a fresh quick-mode run against the committed baseline; see
+# scripts/benchdiff.sh for the tolerances.
+bench-check:
+	./scripts/benchdiff.sh -quick
+
 # Smoke-run every fuzzer briefly: ~10s each, no corpus growth kept.
 # Go runs one fuzz target per invocation, hence one line per fuzzer.
 FUZZTIME ?= 10s
@@ -50,6 +62,7 @@ fuzz-smoke:
 	$(GO) test ./internal/xpathlite -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diff -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime $(FUZZTIME)
 
 # Run the change-control daemon locally (data in ./xydiffd-data).
 server:

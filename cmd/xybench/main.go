@@ -16,13 +16,20 @@
 //	moves       move-detection quality sweep
 //	ablation    design-choice ablations
 //	stats       per-label change-frequency statistics (paper §7)
-//	all         everything above
+//	bench5      machine-readable perf record: ns/op + B/op per workload,
+//	            quality ratios, Workers sweep (see -json / -compare)
+//	all         everything above except bench5
 //
 // Flags:
 //
-//	-full    run the full-size workloads (several minutes); the default
-//	         quick mode keeps every experiment under a few seconds
-//	-seed n  random seed (default 1)
+//	-full        run the full-size workloads (several minutes); the default
+//	             quick mode keeps every experiment under a few seconds
+//	-seed n      random seed (default 1)
+//	-workers n   diff.Options.Workers for fig4/site (0 = GOMAXPROCS)
+//	-quick       bench5: fewer repetitions (the check.sh smoke)
+//	-json path   bench5: write the report to path (- for stdout)
+//	-compare p   bench5: gate the fresh report against a committed
+//	             baseline; exit 1 when a tolerance is violated
 package main
 
 import (
@@ -32,13 +39,28 @@ import (
 	"os"
 
 	"xydiff/internal/bench"
+	"xydiff/internal/diff"
 )
 
+type benchConfig struct {
+	full    bool
+	seed    int64
+	workers int
+	quick   bool
+	json    string
+	compare string
+}
+
 func main() {
-	full := flag.Bool("full", false, "run full-size workloads")
-	seed := flag.Int64("seed", 1, "random `seed`")
+	var cfg benchConfig
+	flag.BoolVar(&cfg.full, "full", false, "run full-size workloads")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random `seed`")
+	flag.IntVar(&cfg.workers, "workers", 0, "diff `goroutines` for fig4/site (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.quick, "quick", false, "bench5: fewer repetitions")
+	flag.StringVar(&cfg.json, "json", "", "bench5: write report to `path` (- for stdout)")
+	flag.StringVar(&cfg.compare, "compare", "", "bench5: compare against baseline report at `path`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xybench [flags] fig4|fig5|fig6|site|baselines|moves|ablation|stats|all\n")
+		fmt.Fprintf(os.Stderr, "usage: xybench [flags] fig4|fig5|fig6|site|baselines|moves|ablation|stats|bench5|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,13 +68,65 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *full, *seed); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xybench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, experiment string, full bool, seed int64) error {
+// runBench5 measures the report, optionally writes it, optionally gates
+// it against a committed baseline.
+func runBench5(w io.Writer, cfg benchConfig) error {
+	r, err := bench.Bench5(cfg.quick, cfg.seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintBench5(w, r)
+	if cfg.json != "" {
+		if cfg.json == "-" {
+			if err := r.WriteJSON(w); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(cfg.json)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				_ = f.Close() // the write error is the one worth reporting
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.compare != "" {
+		f, err := os.Open(cfg.compare)
+		if err != nil {
+			return err
+		}
+		baseline, err := bench.ReadBench5(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if bad := r.Compare(baseline); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "bench regression:", msg)
+			}
+			return fmt.Errorf("%d benchmark gate(s) violated (baseline %s)", len(bad), cfg.compare)
+		}
+		fmt.Fprintf(w, "bench gate: ok against %s\n", cfg.compare)
+	}
+	return nil
+}
+
+func run(w io.Writer, experiment string, cfg benchConfig) error {
+	full, seed := cfg.full, cfg.seed
+	opts := diff.Options{Workers: cfg.workers}
 	runOne := func(name string) error {
 		switch name {
 		case "fig4":
@@ -60,7 +134,7 @@ func run(w io.Writer, experiment string, full bool, seed int64) error {
 			if full {
 				sizes = append(sizes, 2_000_000, 5_000_000)
 			}
-			points, err := bench.Fig4(sizes, seed)
+			points, err := bench.Fig4Opts(sizes, seed, opts)
 			if err != nil {
 				return err
 			}
@@ -91,7 +165,7 @@ func run(w io.Writer, experiment string, full bool, seed int64) error {
 			if full {
 				pages = 14_000 // the paper's www.inria.fr scale
 			}
-			r, err := bench.Site(pages, seed)
+			r, err := bench.SiteOpts(pages, seed, opts)
 			if err != nil {
 				return err
 			}
@@ -138,6 +212,8 @@ func run(w io.Writer, experiment string, full bool, seed int64) error {
 				return err
 			}
 			report.WriteTable(w)
+		case "bench5":
+			return runBench5(w, cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -7,14 +7,14 @@ import (
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(io.Discard, "nope", false, 1); err == nil {
+	if err := run(io.Discard, "nope", benchConfig{seed: 1}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunWritesTables(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "stats", false, 1); err != nil {
+	if err := run(&b, "stats", benchConfig{seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "change statistics") {
@@ -26,7 +26,7 @@ func TestRunQuickExperiments(t *testing.T) {
 	// Keep only the fast experiments in unit tests; "all" and -full are
 	// exercised manually / by the benchmarks.
 	for _, name := range []string{"moves", "ablation", "stats"} {
-		if err := run(io.Discard, name, false, 1); err != nil {
+		if err := run(io.Discard, name, benchConfig{seed: 1}); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}

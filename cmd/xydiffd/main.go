@@ -65,6 +65,8 @@ type config struct {
 	server       server.Config
 	logger       *slog.Logger
 
+	diffWorkers int
+
 	crawl            bool
 	crawlMin         time.Duration
 	crawlMax         time.Duration
@@ -76,6 +78,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8427", "listen `address`")
 	flag.StringVar(&cfg.dir, "dir", "xydiffd-data", "data `directory` (loaded on start, flushed on shutdown)")
 	flag.IntVar(&cfg.server.Workers, "workers", 0, "diff worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.diffWorkers, "diff-workers", 1, "goroutines per diff (0 = GOMAXPROCS, 1 = sequential; raise only when the pool is not already saturating the CPUs)")
 	flag.IntVar(&cfg.server.QueueDepth, "queue", 0, "max queued diffs before shedding (0 = default 64)")
 	flag.DurationVar(&cfg.server.RequestTimeout, "timeout", 0, "per-request `deadline` (0 = default 30s)")
 	flag.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "max document `bytes` per PUT (0 = default 16MiB)")
@@ -110,7 +113,7 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	st, err := store.Open(cfg.dir, diff.Options{}, store.Durability{
+	st, err := store.Open(cfg.dir, diff.Options{Workers: cfg.diffWorkers}, store.Durability{
 		Sync:     policy,
 		Interval: cfg.syncInterval,
 	})

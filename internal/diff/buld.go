@@ -61,11 +61,27 @@ func DiffDetailed(oldDoc, newDoc *dom.Node, opts Options) (*Result, error) {
 	var r Result
 
 	// Phase 2 first in execution order: the annotation arrays are the
-	// substrate every other phase works on.
+	// substrate every other phase works on. With more than one worker
+	// the two documents annotate concurrently, each side fanning out
+	// over its decomposition blocks with its share of the budget.
+	workers := opts.workers()
 	start := time.Now()
-	oldT := newTree(oldDoc)
-	newT := newTree(newDoc)
-	m := newMatcher(oldT, newT, opts)
+	var oldT, newT *tree
+	if workers > 1 {
+		trees := [2]**tree{&oldT, &newT}
+		docs := [2]*dom.Node{oldDoc, newDoc}
+		share := [2]int{(workers + 1) / 2, workers / 2}
+		runParallel(2, 2, func(k int) {
+			*trees[k] = newTree(docs[k], share[k], opts.done)
+		})
+	} else {
+		oldT = newTree(oldDoc, 1, opts.done)
+		newT = newTree(newDoc, 1, opts.done)
+	}
+	defer oldT.release()
+	defer newT.release()
+	m := matcherFromPool(oldT, newT, opts, workers)
+	defer m.release()
 	r.Timings.Phase2 = time.Since(start)
 	if opts.canceled() {
 		return nil, errCanceled

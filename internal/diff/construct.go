@@ -52,18 +52,18 @@ func (m *matcher) buildDelta() *delta.Delta {
 	}
 
 	// Deletes: maximal unmatched old subtrees.
-	dom.WalkPre(m.old.doc, func(o *dom.Node) bool {
-		oi := m.old.index[o]
+	m.old.walkPre(m.old.root(), func(oi int) bool {
 		if m.oldToNew[oi] >= 0 {
 			return true // matched: descend
 		}
-		if po := m.old.parent[oi]; po >= 0 && m.oldToNew[po] >= 0 {
-			content := m.pruneOld(o)
+		if po := int(m.old.parent[oi]); po >= 0 && m.oldToNew[po] >= 0 {
+			o := m.old.nodes[oi]
+			content := m.pruneOld(oi)
 			d.Ops = append(d.Ops, delta.Delete{
 				XID:     o.XID,
 				XIDMap:  xid.Of(content),
 				Parent:  m.old.nodes[po].XID,
-				Pos:     m.old.childPos[oi],
+				Pos:     int(m.old.childPos[oi]),
 				Subtree: content,
 			})
 		}
@@ -71,18 +71,18 @@ func (m *matcher) buildDelta() *delta.Delta {
 	})
 
 	// Inserts: maximal unmatched new subtrees.
-	dom.WalkPre(m.new.doc, func(n *dom.Node) bool {
-		ni := m.new.index[n]
+	m.new.walkPre(m.new.root(), func(ni int) bool {
 		if m.newToOld[ni] >= 0 {
 			return true
 		}
-		if pn := m.new.parent[ni]; pn >= 0 && m.newToOld[pn] >= 0 {
-			content := m.pruneNew(n)
+		if pn := int(m.new.parent[ni]); pn >= 0 && m.newToOld[pn] >= 0 {
+			n := m.new.nodes[ni]
+			content := m.pruneNew(ni)
 			d.Ops = append(d.Ops, delta.Insert{
 				XID:     n.XID,
 				XIDMap:  xid.Of(content),
 				Parent:  m.new.nodes[pn].XID,
-				Pos:     m.new.childPos[ni],
+				Pos:     int(m.new.childPos[ni]),
 				Subtree: content,
 			})
 		}
@@ -94,7 +94,7 @@ func (m *matcher) buildDelta() *delta.Delta {
 		if ni < 0 || oi == m.old.root() {
 			continue
 		}
-		po, pn := m.old.parent[oi], m.new.parent[ni]
+		po, pn := int(m.old.parent[oi]), int(m.new.parent[ni])
 		if po < 0 || pn < 0 {
 			continue
 		}
@@ -102,9 +102,9 @@ func (m *matcher) buildDelta() *delta.Delta {
 			d.Ops = append(d.Ops, delta.Move{
 				XID:        m.old.nodes[oi].XID,
 				FromParent: m.old.nodes[po].XID,
-				FromPos:    m.old.childPos[oi],
+				FromPos:    int(m.old.childPos[oi]),
 				ToParent:   m.new.nodes[pn].XID,
-				ToPos:      m.new.childPos[ni],
+				ToPos:      int(m.new.childPos[ni]),
 			})
 		}
 	}
@@ -123,22 +123,24 @@ func (m *matcher) buildDelta() *delta.Delta {
 		if len(o.Children) < 2 || len(n.Children) == 0 {
 			continue
 		}
-		var items []lcs.Item
-		var kept []int // old child index per item
-		for _, c := range o.Children {
-			ci := m.old.index[c]
+		items := m.liItems[:0]
+		kept := m.liKept[:0] // old child index per item
+		for pos := range o.Children {
+			ci := m.old.child(oi, pos)
 			cn := m.oldToNew[ci]
-			if cn < 0 || m.new.parent[cn] != ni {
+			if cn < 0 || int(m.new.parent[cn]) != ni {
 				continue
 			}
-			items = append(items, lcs.Item{Key: m.new.childPos[cn], Weight: m.old.weight[ci]})
+			items = append(items, lcs.Item{Key: int(m.new.childPos[cn]), Weight: m.old.weight[ci]})
 			kept = append(kept, ci)
 		}
+		m.liItems, m.liKept = items, kept
 		if len(items) < 2 {
 			continue
 		}
 		stay := lcs.WindowedIncreasing(items, window)
-		inStay := make(map[int]bool, len(stay))
+		inStay := m.liStay
+		clear(inStay)
 		for _, s := range stay {
 			inStay[s] = true
 		}
@@ -150,9 +152,9 @@ func (m *matcher) buildDelta() *delta.Delta {
 			d.Ops = append(d.Ops, delta.Move{
 				XID:        m.old.nodes[ci].XID,
 				FromParent: o.XID,
-				FromPos:    m.old.childPos[ci],
+				FromPos:    int(m.old.childPos[ci]),
 				ToParent:   n.XID,
-				ToPos:      m.new.childPos[cn],
+				ToPos:      int(m.new.childPos[cn]),
 			})
 		}
 	}
@@ -188,34 +190,38 @@ func (m *matcher) diffAttributes(d *delta.Delta, o, n *dom.Node) {
 // pruneOld clones an unmatched old subtree, dropping matched
 // descendants (they leave via move operations), so the delete op's
 // recorded content is exactly what remains at detach time.
-func (m *matcher) pruneOld(o *dom.Node) *dom.Node {
+func (m *matcher) pruneOld(oi int) *dom.Node {
+	o := m.old.nodes[oi]
 	c := &dom.Node{Type: o.Type, Name: o.Name, Value: o.Value, XID: o.XID}
 	if len(o.Attrs) > 0 {
 		c.Attrs = make([]dom.Attr, len(o.Attrs))
 		copy(c.Attrs, o.Attrs)
 	}
-	for _, ch := range o.Children {
-		if m.oldToNew[m.old.index[ch]] >= 0 {
+	for pos := range o.Children {
+		ci := m.old.child(oi, pos)
+		if m.oldToNew[ci] >= 0 {
 			continue
 		}
-		c.Append(m.pruneOld(ch))
+		c.Append(m.pruneOld(ci))
 	}
 	return c
 }
 
 // pruneNew clones an unmatched new subtree, dropping matched
 // descendants (they arrive via move operations).
-func (m *matcher) pruneNew(n *dom.Node) *dom.Node {
+func (m *matcher) pruneNew(ni int) *dom.Node {
+	n := m.new.nodes[ni]
 	c := &dom.Node{Type: n.Type, Name: n.Name, Value: n.Value, XID: n.XID}
 	if len(n.Attrs) > 0 {
 		c.Attrs = make([]dom.Attr, len(n.Attrs))
 		copy(c.Attrs, n.Attrs)
 	}
-	for _, ch := range n.Children {
-		if m.newToOld[m.new.index[ch]] >= 0 {
+	for pos := range n.Children {
+		ci := m.new.child(ni, pos)
+		if m.newToOld[ci] >= 0 {
 			continue
 		}
-		c.Append(m.pruneNew(ch))
+		c.Append(m.pruneNew(ci))
 	}
 	return c
 }

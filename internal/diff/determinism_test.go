@@ -1,0 +1,132 @@
+package diff_test
+
+// These tests pin the tentpole invariant of the parallel diff core:
+// Options.Workers changes scheduling, never the delta. They live in an
+// external test package so they can drive changesim (which imports
+// diff) as the corpus generator.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+// corpusPair generates one old/new document pair of the seeded corpus.
+func corpusPair(t *testing.T, seed int64, bytes int, rate float64) (*dom.Node, *dom.Node) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var oldDoc *dom.Node
+	switch seed % 3 {
+	case 0:
+		oldDoc = changesim.CatalogOfSize(rng, bytes)
+	case 1:
+		oldDoc = changesim.Generic(rng, bytes/24, 8, 6)
+	default:
+		oldDoc = changesim.AddressBook(rng, bytes/200)
+	}
+	sim, err := changesim.Simulate(oldDoc, changesim.Uniform(rate, seed+99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oldDoc, sim.New
+}
+
+// TestDeltaIdenticalAcrossWorkerCounts diffs a seeded changesim corpus
+// at Workers ∈ {1,2,4,8} and requires byte-identical delta XML. The
+// sizes straddle minParallelNodes so both the parallel build and its
+// sequential fallback are exercised.
+func TestDeltaIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, tc := range []struct {
+		seed  int64
+		bytes int
+		rate  float64
+	}{
+		{1, 4_000, 0.10},
+		{2, 60_000, 0.10},
+		{3, 120_000, 0.05},
+		{4, 200_000, 0.30},
+		{5, 250_000, 0.20},
+	} {
+		t.Run(fmt.Sprintf("seed%d-%dB", tc.seed, tc.bytes), func(t *testing.T) {
+			oldDoc, newDoc := corpusPair(t, tc.seed, tc.bytes, tc.rate)
+			var ref string
+			for _, workers := range []int{1, 2, 4, 8} {
+				d, err := diff.Diff(oldDoc.Clone(), newDoc.Clone(), diff.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				text, err := d.MarshalText()
+				if err != nil {
+					t.Fatalf("Workers=%d: marshal: %v", workers, err)
+				}
+				if workers == 1 {
+					ref = string(text)
+					continue
+				}
+				if string(text) != ref {
+					t.Fatalf("Workers=%d delta differs from Workers=1\nw1: %s\nw%d: %s",
+						workers, ref, workers, text)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDiffsSharePools runs many parallel Diff calls through
+// the shared tree/matcher/lcs pools (this is the server's steady
+// state). Under -race — the repo's race gate runs the whole package —
+// it doubles as the data-race check on the pools and on the worker
+// fan-out; functionally it asserts every goroutine still gets the
+// deterministic delta for its input.
+func TestConcurrentDiffsSharePools(t *testing.T) {
+	type job struct {
+		oldDoc, newDoc *dom.Node
+		want           string
+	}
+	jobs := make([]job, 4)
+	for i := range jobs {
+		oldDoc, newDoc := corpusPair(t, int64(i), 30_000+10_000*i, 0.10)
+		d, err := diff.Diff(oldDoc.Clone(), newDoc.Clone(), diff.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := d.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{oldDoc, newDoc, string(text)}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for round := 0; round < 4; round++ {
+		for i := range jobs {
+			wg.Add(1)
+			go func(j job, workers int) {
+				defer wg.Done()
+				d, err := diff.Diff(j.oldDoc.Clone(), j.newDoc.Clone(), diff.Options{Workers: workers})
+				if err != nil {
+					errs <- err
+					return
+				}
+				text, err := d.MarshalText()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(text) != j.want {
+					errs <- fmt.Errorf("concurrent diff (Workers=%d) produced a different delta", workers)
+				}
+			}(jobs[i], 1+(round+i)%4)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -485,7 +485,7 @@ func contains(root, n *dom.Node) bool {
 
 func TestTreeAnnotation(t *testing.T) {
 	doc := parse(t, `<a><b>text</b><c/></a>`)
-	tr := newTree(doc)
+	tr := newTree(doc, 1, nil)
 	if tr.len() != 5 {
 		t.Fatalf("len = %d, want 5", tr.len())
 	}
@@ -497,26 +497,27 @@ func TestTreeAnnotation(t *testing.T) {
 		t.Error("document weight below root element weight")
 	}
 	// text "text": weight 1 + log2(5) > 3.3 -> element b > that.
-	bIdx := tr.index[doc.Root().Children[0]]
-	if tr.weight[bIdx] <= tr.weight[tr.index[doc.Root().Children[0].Children[0]]] {
+	idx := indexOf(tr)
+	bIdx := idx[doc.Root().Children[0]]
+	if tr.weight[bIdx] <= tr.weight[idx[doc.Root().Children[0].Children[0]]] {
 		t.Error("element weight must exceed its child's")
 	}
 	// Identical subtrees share a signature; different ones do not.
 	doc2 := parse(t, `<a><b>text</b><c/></a>`)
-	tr2 := newTree(doc2)
+	tr2 := newTree(doc2, 1, nil)
 	if tr.sig[tr.root()] != tr2.sig[tr2.root()] {
 		t.Error("identical documents must share signatures")
 	}
 	doc3 := parse(t, `<a><b>texx</b><c/></a>`)
-	tr3 := newTree(doc3)
+	tr3 := newTree(doc3, 1, nil)
 	if tr.sig[tr.root()] == tr3.sig[tr3.root()] {
 		t.Error("different documents share root signature")
 	}
 }
 
 func TestSignatureAttrOrderInsensitive(t *testing.T) {
-	a := newTree(parse(t, `<e x="1" y="2"/>`))
-	b := newTree(parse(t, `<e y="2" x="1"/>`))
+	a := newTree(parse(t, `<e x="1" y="2"/>`), 1, nil)
+	b := newTree(parse(t, `<e y="2" x="1"/>`), 1, nil)
 	if a.sig[a.root()] != b.sig[b.root()] {
 		t.Error("attribute order changed the signature")
 	}
@@ -524,8 +525,8 @@ func TestSignatureAttrOrderInsensitive(t *testing.T) {
 
 func TestSignatureConcatenationAmbiguity(t *testing.T) {
 	// "ab"+"" vs "a"+"b" style ambiguities must not collide.
-	a := newTree(parse(t, `<r><e n="ab"/></r>`))
-	b := newTree(parse(t, `<r><e n="a" m="b"/></r>`))
+	a := newTree(parse(t, `<r><e n="ab"/></r>`), 1, nil)
+	b := newTree(parse(t, `<r><e n="a" m="b"/></r>`), 1, nil)
 	if a.sig[a.root()] == b.sig[b.root()] {
 		t.Error("attribute concatenation collision")
 	}
@@ -533,8 +534,8 @@ func TestSignatureConcatenationAmbiguity(t *testing.T) {
 
 func TestDepthBoundGrowsWithWeight(t *testing.T) {
 	doc := parse(t, strings.Repeat("<a>", 1)+"<b><c><d/></c></b>"+strings.Repeat("</a>", 1))
-	tr := newTree(doc)
-	m := newMatcher(tr, tr, Options{})
+	tr := newTree(doc, 1, nil)
+	m := matcherFromPool(tr, tr, Options{}, 1)
 	small := m.depthBound(0.001)
 	big := m.depthBound(tr.totalWeight)
 	if small < 1 {
@@ -543,7 +544,7 @@ func TestDepthBoundGrowsWithWeight(t *testing.T) {
 	if big <= small {
 		t.Errorf("heavier subtrees must see further: small=%d big=%d", small, big)
 	}
-	m2 := newMatcher(tr, tr, Options{MaxAncestorDepth: 7})
+	m2 := matcherFromPool(tr, tr, Options{MaxAncestorDepth: 7}, 1)
 	if m2.depthBound(0.5) != 7 {
 		t.Error("MaxAncestorDepth override ignored")
 	}

@@ -23,16 +23,24 @@ func FromMatching(oldDoc, newDoc *dom.Node, pairs map[*dom.Node]*dom.Node, opts 
 	if oldDoc.Type != dom.Document || newDoc.Type != dom.Document {
 		return nil, fmt.Errorf("diff: arguments must be Document nodes")
 	}
-	oldT := newTree(oldDoc)
-	newT := newTree(newDoc)
-	m := newMatcher(oldT, newT, opts)
+	workers := opts.workers()
+	oldT := newTree(oldDoc, workers, nil)
+	defer oldT.release()
+	newT := newTree(newDoc, workers, nil)
+	defer newT.release()
+	m := matcherFromPool(oldT, newT, opts, workers)
+	defer m.release()
 	m.setMatch(oldT.root(), newT.root())
+	// The external pairs address dom nodes; the annotation no longer
+	// keeps a node→index map, so build one per side for this call.
+	oldIdx := indexOf(oldT)
+	newIdx := indexOf(newT)
 	for o, n := range pairs {
-		oi, ok := oldT.index[o]
+		oi, ok := oldIdx[o]
 		if !ok {
 			return nil, fmt.Errorf("diff: matching references a node outside the old document")
 		}
-		ni, ok := newT.index[n]
+		ni, ok := newIdx[n]
 		if !ok {
 			return nil, fmt.Errorf("diff: matching references a node outside the new document")
 		}
@@ -41,4 +49,12 @@ func FromMatching(oldDoc, newDoc *dom.Node, pairs map[*dom.Node]*dom.Node, opts 
 		}
 	}
 	return m.buildDelta(), nil
+}
+
+func indexOf(t *tree) map[*dom.Node]int {
+	idx := make(map[*dom.Node]int, t.len())
+	for i, n := range t.nodes {
+		idx[n] = i
+	}
+	return idx
 }

@@ -6,7 +6,18 @@ import (
 
 	"xydiff/internal/dom"
 	"xydiff/internal/dtd"
+	"xydiff/internal/lcs"
 )
+
+// sigShards is the fixed fan-out of the signature indexes. Sharding by
+// low signature bits lets the index build run on several goroutines
+// while keeping every bucket's content — and therefore candidate
+// order — independent of the worker count. The constant is a power of
+// two and deliberately NOT tied to Options.Workers: the shard a
+// signature lands in must never change, only who builds it.
+const sigShards = 8
+
+func sigShard(sig uint64) int { return int(sig & (sigShards - 1)) }
 
 // matcher holds the matching state between the old and new trees.
 type matcher struct {
@@ -25,8 +36,8 @@ type matcher struct {
 	// bySig indexes unconsumed old nodes by subtree signature; the
 	// secondary index bySigParent finds, in O(1), a candidate whose
 	// parent is a given old node (Section 5.3's answer to d -> 0).
-	bySig       map[uint64][]int
-	bySigParent map[sigParent][]int
+	bySig       [sigShards]map[uint64][]int32
+	bySigParent [sigShards]map[sigParent][]int32
 
 	// dupSig marks signatures that occur more than once across the two
 	// documents. A unique signature is strong evidence by itself (the
@@ -34,59 +45,116 @@ type matcher struct {
 	// with the same signature"); a duplicated one is not — repeated
 	// dates or prices would otherwise weld unrelated parents together
 	// once the candidate bucket drains to one live entry.
-	dupSig map[uint64]bool
+	dupSig [sigShards]map[uint64]bool
+
+	// seen is shard-build scratch (new-document signature occurrence).
+	seen [sigShards]map[uint64]bool
+
+	// q is the Phase 3 priority queue, retained across pooled reuses.
+	q maxQueue
+
+	// ukOld/ukNew are matchUniqueChildren scratch (non-recursive path
+	// only; the recursive EagerDown ablation allocates instead, since
+	// a shared map cannot survive reentrancy).
+	ukOld, ukNew map[childKey]int
+
+	// wbp is propagateToParents scratch.
+	wbp map[int]float64
+
+	// liItems/liKept/liStay are buildDelta's intra-parent move scratch,
+	// reused across all matched parent pairs of one diff.
+	liItems []lcs.Item
+	liKept  []int
+	liStay  map[int]bool
 
 	logN float64
 }
 
 type sigParent struct {
 	sig    uint64
-	parent int
+	parent int32
 }
 
-func newMatcher(oldT, newT *tree, opts Options) *matcher {
-	m := &matcher{
-		old: oldT, new: newT, opts: opts,
-		oldToNew:    make([]int, oldT.len()),
-		newToOld:    make([]int, newT.len()),
-		oldExcluded: make([]bool, oldT.len()),
-		newExcluded: make([]bool, newT.len()),
-		bySig:       make(map[uint64][]int, oldT.len()),
-		bySigParent: make(map[sigParent][]int, oldT.len()),
-		logN:        math.Log2(float64(oldT.len() + newT.len() + 2)),
-	}
+// reset prepares a (possibly pooled) matcher for one diff, building the
+// signature indexes with at most workers goroutines.
+func (m *matcher) reset(oldT, newT *tree, opts Options, workers int) {
+	m.old, m.new, m.opts = oldT, newT, opts
+	m.logN = math.Log2(float64(oldT.len() + newT.len() + 2))
+
+	m.oldToNew = growSlice(m.oldToNew, oldT.len())
+	m.newToOld = growSlice(m.newToOld, newT.len())
 	for i := range m.oldToNew {
 		m.oldToNew[i] = -1
 	}
 	for i := range m.newToOld {
 		m.newToOld[i] = -1
 	}
-	for i := 0; i < oldT.len(); i++ {
-		if i == oldT.root() {
-			continue // the document node is matched structurally
+	m.oldExcluded = growSlice(m.oldExcluded, oldT.len())
+	clear(m.oldExcluded)
+	m.newExcluded = growSlice(m.newExcluded, newT.len())
+	clear(m.newExcluded)
+
+	for s := 0; s < sigShards; s++ {
+		if m.bySig[s] == nil {
+			m.bySig[s] = make(map[uint64][]int32, oldT.len()/sigShards+1)
+			m.bySigParent[s] = make(map[sigParent][]int32, oldT.len()/sigShards+1)
+			m.dupSig[s] = make(map[uint64]bool)
+			m.seen[s] = make(map[uint64]bool)
+		} else {
+			clear(m.bySig[s])
+			clear(m.bySigParent[s])
+			clear(m.dupSig[s])
+			clear(m.seen[s])
 		}
-		m.bySig[oldT.sig[i]] = append(m.bySig[oldT.sig[i]], i)
-		key := sigParent{oldT.sig[i], oldT.parent[i]}
-		m.bySigParent[key] = append(m.bySigParent[key], i)
 	}
-	m.dupSig = make(map[uint64]bool, oldT.len())
-	for sig, bucket := range m.bySig {
-		if len(bucket) > 1 {
-			m.dupSig[sig] = true
-		}
+	if m.ukOld == nil {
+		m.ukOld = make(map[childKey]int)
+		m.ukNew = make(map[childKey]int)
+		m.wbp = make(map[int]float64)
+		m.liStay = make(map[int]bool)
 	}
-	seen := make(map[uint64]bool, newT.len())
-	for i := 0; i < newT.len(); i++ {
-		if i == newT.root() {
-			continue
+
+	// Each shard task owns shard s of every index, scanning both trees
+	// once. Buckets fill in ascending post-order regardless of how the
+	// shards are spread over goroutines, so the candidate order — and
+	// the delta — is identical for every worker count.
+	runParallel(workers, sigShards, func(s int) {
+		bySig, byPar := m.bySig[s], m.bySigParent[s]
+		oldRoot := oldT.root()
+		for i := 0; i < oldT.len(); i++ {
+			if i == oldRoot {
+				continue // the document node is matched structurally
+			}
+			sg := oldT.sig[i]
+			if sigShard(sg) != s {
+				continue
+			}
+			bySig[sg] = append(bySig[sg], int32(i))
+			key := sigParent{sg, oldT.parent[i]}
+			byPar[key] = append(byPar[key], int32(i))
 		}
-		sig := newT.sig[i]
-		if seen[sig] {
-			m.dupSig[sig] = true
+		dup := m.dupSig[s]
+		for sg, bucket := range bySig {
+			if len(bucket) > 1 {
+				dup[sg] = true
+			}
 		}
-		seen[sig] = true
-	}
-	return m
+		seen := m.seen[s]
+		newRoot := newT.root()
+		for i := 0; i < newT.len(); i++ {
+			if i == newRoot {
+				continue
+			}
+			sg := newT.sig[i]
+			if sigShard(sg) != s {
+				continue
+			}
+			if seen[sg] {
+				dup[sg] = true
+			}
+			seen[sg] = true
+		}
+	})
 }
 
 func (m *matcher) setMatch(oldIdx, newIdx int) {
@@ -134,8 +202,12 @@ func (m *matcher) phase1IDs() {
 	if len(ids) == 0 {
 		return
 	}
-	oldIDs := idIndex(m.old, ids)
-	newIDs := idIndex(m.new, ids)
+	var oldIDs, newIDs map[idKey]int
+	trees := [2]*tree{m.old, m.new}
+	out := [2]*map[idKey]int{&oldIDs, &newIDs}
+	runParallel(m.opts.workers(), 2, func(k int) {
+		*out[k] = idIndex(trees[k], ids)
+	})
 	for key, oi := range oldIDs {
 		if oi < 0 {
 			continue // duplicated ID value: ignore entirely
@@ -251,14 +323,13 @@ func (m *matcher) phase3BULD() {
 	// Force-match the document nodes, then start from the top-level
 	// items of the new version.
 	m.setMatch(m.old.root(), m.new.root())
-	q := make(maxQueue, 0, 64)
+	q := m.q[:0]
 	seq := 0
-	push := func(newIdx int) {
-		q = append(q, queueItem{idx: newIdx, weight: m.new.weight[newIdx], seq: seq})
+	root := m.new.root()
+	for pos := range m.new.doc.Children {
+		ci := m.new.child(root, pos)
+		q = append(q, queueItem{idx: ci, weight: m.new.weight[ci], seq: seq})
 		seq++
-	}
-	for _, c := range m.new.doc.Children {
-		push(m.new.index[c])
 	}
 	heap.Init(&q)
 	pops := 0
@@ -266,6 +337,7 @@ func (m *matcher) phase3BULD() {
 		// Large documents spend most of their diff here; honour
 		// cancellation without paying a channel poll per pop.
 		if pops++; pops&0x0fff == 0 && m.opts.canceled() {
+			m.q = q
 			return
 		}
 		item := heap.Pop(&q).(queueItem)
@@ -275,8 +347,8 @@ func (m *matcher) phase3BULD() {
 		}
 		enqueueChildren := func() {
 			if m.new.nodes[y].Type == dom.Element {
-				for _, c := range m.new.nodes[y].Children {
-					ci := m.new.index[c]
+				for pos := range m.new.nodes[y].Children {
+					ci := m.new.child(y, pos)
 					if m.newToOld[ci] < 0 {
 						heap.Push(&q, queueItem{idx: ci, weight: m.new.weight[ci], seq: seq})
 						seq++
@@ -299,6 +371,7 @@ func (m *matcher) phase3BULD() {
 			m.eagerDownFrom(y)
 		}
 	}
+	m.q = q // hand the grown backing array back for pooled reuse
 }
 
 // bestCandidate returns the old node to match the new subtree y with,
@@ -317,15 +390,15 @@ func (m *matcher) bestCandidate(y int) int {
 	// A duplicated one needs contextual support below, even when only
 	// one live candidate remains: "live uniqueness" is an artifact of
 	// consumption order, not evidence.
-	if len(cands) == 1 && !m.dupSig[sig] {
-		if m.acceptable(cands[0], y) {
-			return cands[0]
+	if len(cands) == 1 && !m.dupSig[sigShard(sig)][sig] {
+		if m.acceptable(int(cands[0]), y) {
+			return int(cands[0])
 		}
 		return -1
 	}
 	d := m.depthBound(m.new.weight[y])
 	// Level 1 via the secondary index.
-	if p := m.new.parent[y]; p >= 0 {
+	if p := int(m.new.parent[y]); p >= 0 {
 		if po := m.newToOld[p]; po >= 0 {
 			if c := m.pickByParent(sig, po, y); c >= 0 {
 				return c
@@ -352,12 +425,13 @@ func (m *matcher) bestCandidate(y int) int {
 		// (always 0 for a first child) carries no signal.
 		yBelow := m.new.ancestor(y, level-1)
 		bestIdx, bestDist := -1, 1<<30
-		for _, c := range cands {
+		for _, c32 := range cands {
+			c := int(c32)
 			if m.old.ancestor(c, level) != oa || !m.acceptable(c, y) {
 				continue
 			}
 			cBelow := m.old.ancestor(c, level-1)
-			dist := abs(m.old.childPos[cBelow] - m.new.childPos[yBelow])
+			dist := abs(int(m.old.childPos[cBelow]) - int(m.new.childPos[yBelow]))
 			if dist < bestDist {
 				bestIdx, bestDist = c, dist
 			}
@@ -371,8 +445,9 @@ func (m *matcher) bestCandidate(y int) int {
 
 // liveCandidates filters the signature bucket down to still-unmatched
 // nodes, compacting the bucket in place so repeated queries stay cheap.
-func (m *matcher) liveCandidates(sig uint64) []int {
-	bucket := m.bySig[sig]
+func (m *matcher) liveCandidates(sig uint64) []int32 {
+	shard := m.bySig[sigShard(sig)]
+	bucket := shard[sig]
 	if len(bucket) == 0 {
 		return nil
 	}
@@ -383,23 +458,24 @@ func (m *matcher) liveCandidates(sig uint64) []int {
 		}
 	}
 	if len(live) == 0 {
-		delete(m.bySig, sig)
+		delete(shard, sig)
 		return nil
 	}
-	m.bySig[sig] = live
+	shard[sig] = live
 	return live
 }
 
 // pickByParent returns an acceptable candidate with the given old
 // parent, preferring the one whose sibling position is closest to y's.
 func (m *matcher) pickByParent(sig uint64, oldParent, y int) int {
-	bucket := m.bySigParent[sigParent{sig, oldParent}]
+	bucket := m.bySigParent[sigShard(sig)][sigParent{sig, int32(oldParent)}]
 	bestIdx, bestDist := -1, 1<<30
-	for _, c := range bucket {
+	for _, c32 := range bucket {
+		c := int(c32)
 		if m.oldToNew[c] >= 0 || m.oldExcluded[c] || !m.acceptable(c, y) {
 			continue
 		}
-		dist := abs(m.old.childPos[c] - m.new.childPos[y])
+		dist := abs(int(m.old.childPos[c]) - int(m.new.childPos[y]))
 		if dist < bestDist {
 			bestIdx, bestDist = c, dist
 		}
@@ -422,13 +498,12 @@ func (m *matcher) acceptable(oldIdx, newIdx int) bool {
 // already matched (e.g. by ID in Phase 1) or excluded are skipped; the
 // parallel walk still descends so their unmatched descendants pair up.
 func (m *matcher) matchSubtrees(oldIdx, newIdx int) {
-	o, n := m.old.nodes[oldIdx], m.new.nodes[newIdx]
 	if m.oldToNew[oldIdx] < 0 && m.newToOld[newIdx] < 0 &&
 		!m.oldExcluded[oldIdx] && !m.newExcluded[newIdx] {
 		m.setMatch(oldIdx, newIdx)
 	}
-	for i := range o.Children {
-		m.matchSubtrees(m.old.index[o.Children[i]], m.new.index[n.Children[i]])
+	for pos := range m.old.nodes[oldIdx].Children {
+		m.matchSubtrees(m.old.child(oldIdx, pos), m.new.child(newIdx, pos))
 	}
 }
 
@@ -436,13 +511,13 @@ func (m *matcher) matchSubtrees(oldIdx, newIdx int) {
 // (Phase 3's bottom-up propagation), at most depthBound(weight) levels.
 func (m *matcher) matchAncestors(oldIdx, newIdx int) {
 	limit := m.depthBound(m.new.weight[newIdx])
-	o, n := m.old.parent[oldIdx], m.new.parent[newIdx]
+	o, n := int(m.old.parent[oldIdx]), int(m.new.parent[newIdx])
 	for level := 0; level < limit && o >= 0 && n >= 0; level++ {
 		if !m.compatible(o, n) {
 			return
 		}
 		m.setMatch(o, n)
-		o, n = m.old.parent[o], m.new.parent[n]
+		o, n = int(m.old.parent[o]), int(m.new.parent[n])
 	}
 }
 
@@ -475,7 +550,7 @@ func (m *matcher) phase4Propagate() {
 // element whose children are matched adopts the parent of the heaviest
 // group of its children's counterparts, when labels agree.
 func (m *matcher) propagateToParents() {
-	weightByParent := make(map[int]float64)
+	weightByParent := m.wbp
 	for y := 0; y < m.new.len(); y++ {
 		if m.newToOld[y] >= 0 || m.newExcluded[y] {
 			continue
@@ -485,13 +560,13 @@ func (m *matcher) propagateToParents() {
 			continue
 		}
 		clear(weightByParent)
-		for _, c := range node.Children {
-			ci := m.new.index[c]
+		for pos := range node.Children {
+			ci := m.new.child(y, pos)
 			oi := m.newToOld[ci]
 			if oi < 0 {
 				continue
 			}
-			if po := m.old.parent[oi]; po >= 0 {
+			if po := int(m.old.parent[oi]); po >= 0 {
 				weightByParent[po] += m.old.weight[oi]
 			}
 		}
@@ -513,17 +588,12 @@ func (m *matcher) propagateToParents() {
 func (m *matcher) propagateToChildren() {
 	// Pre-order over the new tree: parents first, so fresh matches
 	// cascade downward within the single pass.
-	var walk func(n *dom.Node)
-	walk = func(n *dom.Node) {
-		y := m.new.index[n]
+	m.new.walkPre(m.new.root(), func(y int) bool {
 		if oi := m.newToOld[y]; oi >= 0 {
 			m.matchUniqueChildren(oi, y, false)
 		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	walk(m.new.doc)
+		return true
+	})
 }
 
 // childKey buckets children for unique-label matching: elements by
@@ -541,9 +611,18 @@ func (m *matcher) matchUniqueChildren(oldIdx, newIdx int, recurse bool) {
 	if len(o.Children) == 0 || len(n.Children) == 0 {
 		return
 	}
-	oldByKey := make(map[childKey]int, len(o.Children))
-	for _, c := range o.Children {
-		ci := m.old.index[c]
+	oldByKey, newByKey := m.ukOld, m.ukNew
+	if recurse {
+		// Reentrant path: fresh maps, the shared scratch is in use by
+		// the enclosing frame.
+		oldByKey = make(map[childKey]int, len(o.Children))
+		newByKey = make(map[childKey]int, len(n.Children))
+	} else {
+		clear(oldByKey)
+		clear(newByKey)
+	}
+	for pos, c := range o.Children {
+		ci := m.old.child(oldIdx, pos)
 		if m.oldToNew[ci] >= 0 || m.oldExcluded[ci] {
 			continue
 		}
@@ -554,9 +633,8 @@ func (m *matcher) matchUniqueChildren(oldIdx, newIdx int, recurse bool) {
 			oldByKey[k] = ci
 		}
 	}
-	newByKey := make(map[childKey]int, len(n.Children))
-	for _, c := range n.Children {
-		ci := m.new.index[c]
+	for pos, c := range n.Children {
+		ci := m.new.child(newIdx, pos)
 		if m.newToOld[ci] >= 0 || m.newExcluded[ci] {
 			continue
 		}

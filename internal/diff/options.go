@@ -64,6 +64,13 @@ type Options struct {
 	// still finds parent-supported candidates in O(1)). 0 selects 64.
 	MaxCandidates int
 
+	// Workers bounds the goroutines used for the parallel parts of a
+	// diff (tree annotation, signature indexing). 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path. The delta is
+	// bit-identical for every value: parallelism changes who computes an
+	// annotation, never what is computed.
+	Workers int
+
 	// keepNewXIDs makes delta construction retain non-zero XIDs already
 	// present on unmatched new nodes instead of allocating fresh ones.
 	// Compose uses it so an aggregated delta assigns the same
@@ -92,6 +99,10 @@ func (o Options) passes() int {
 		return 1
 	}
 	return o.PropagationPasses
+}
+
+func (o Options) workers() int {
+	return defaultWorkers(o.Workers)
 }
 
 func (o Options) maxCandidates() int {

@@ -1,0 +1,216 @@
+package diff
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xydiff/internal/dom"
+)
+
+// minParallelNodes is the document size below which the fan-out
+// bookkeeping costs more than it saves; smaller documents always build
+// sequentially regardless of Options.Workers.
+const minParallelNodes = 2048
+
+// runParallel invokes fn(k) for every k in [0,n) on at most workers
+// goroutines. Tasks are claimed from a shared counter (cheap work
+// stealing, so one oversized task does not idle the rest of the pool);
+// every task writes only its own disjoint state, so scheduling order
+// never shows in the results. It returns once all n tasks finished.
+func runParallel(workers, n int, fn func(k int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// block is one unit of parallel annotation work: a subtree whose nodes
+// occupy a contiguous post-order index range, built independently of
+// every other block.
+type block struct {
+	root      *dom.Node
+	size      int32 // node count of the subtree
+	idxStart  int32 // first post-order index of the block
+	kidsStart int32 // first kids-array slot of the block
+	pos       int32 // childPos of the block root under its parent
+}
+
+// spineEntry is one expanded ancestor node: its children are blocks or
+// deeper spine nodes, and its own annotation is finished sequentially
+// after the parallel fill (its children's signatures are ready then).
+type spineEntry struct {
+	node    *dom.Node
+	self    int32   // post-order index
+	kidsOff int32   // start of its children block in kids
+	pos     int32   // childPos under its parent
+	kidIdx  []int32 // post-order indexes of its children, in order
+}
+
+// buildParallel annotates the document by decomposing it into subtree
+// blocks and filling them on a bounded worker pool. It reports false
+// when the decomposition is not worth it (document too small or
+// degenerate); the arrays are untouched in that case.
+//
+// The resulting arrays are identical to the sequential build for every
+// worker count: post-order indexes, parents, weights and signatures
+// are intrinsic to the document, and the kids blocks — whose layout
+// does depend on the decomposition — are only ever read through
+// child(i, pos).
+func (t *tree) buildParallel(workers int, done <-chan struct{}) bool {
+	blocks, spine := decompose(t.doc, workers)
+	if len(blocks) < 2 {
+		return false
+	}
+
+	// Size every block in parallel; sizes drive the index layout.
+	runParallel(workers, len(blocks), func(k int) {
+		blocks[k].size = int32(blocks[k].root.Size())
+	})
+	n := len(spine)
+	for i := range blocks {
+		n += int(blocks[i].size)
+	}
+	if n < minParallelNodes {
+		// Fall back: let the sequential path reuse the size we already
+		// paid for is not worth plumbing; the document is tiny.
+		return false
+	}
+	t.grow(n)
+
+	// Lay out the post-order index space and the kids regions exactly
+	// as one sequential walk would, recursing over the spine skeleton.
+	spineSet := make(map[*dom.Node]int, len(spine))
+	for i, s := range spine {
+		spineSet[s] = i
+	}
+	blockOf := make(map[*dom.Node]*block, len(blocks))
+	for i := range blocks {
+		blockOf[blocks[i].root] = &blocks[i]
+	}
+	entries := make([]spineEntry, 0, len(spine))
+	var idx, off int32
+	var place func(x *dom.Node, pos int32) int32
+	place = func(x *dom.Node, pos int32) int32 {
+		if _, ok := spineSet[x]; !ok {
+			b := blockOf[x]
+			b.idxStart, b.kidsStart, b.pos = idx, off, pos
+			idx += b.size
+			off += b.size - 1
+			return idx - 1 // a subtree's root is post-order-last
+		}
+		r := off
+		off += int32(len(x.Children))
+		e := spineEntry{node: x, kidsOff: r, pos: pos, kidIdx: make([]int32, len(x.Children))}
+		for j, c := range x.Children {
+			e.kidIdx[j] = place(c, int32(j))
+		}
+		e.self = idx
+		idx++
+		entries = append(entries, e) // appended post-order: children first
+		return e.self
+	}
+	place(t.doc, 0)
+
+	// Parallel fill of the blocks.
+	runParallel(workers, len(blocks), func(k int) {
+		b := builder{t: t, done: done}
+		b.build(blocks[k].root, blocks[k].idxStart, blocks[k].kidsStart, blocks[k].pos)
+	})
+
+	// Finish the spine bottom-up: children signatures and weights are
+	// all in place now, whichever worker produced them.
+	fin := builder{t: t, done: done}
+	for i := range entries {
+		fin.finishSpine(&entries[i])
+	}
+	t.parent[n-1] = -1
+	t.finish()
+	return true
+}
+
+// finishSpine annotates one expanded ancestor from its already-built
+// children, mirroring the tail of builder.build.
+func (b *builder) finishSpine(e *spineEntry) {
+	t := b.t
+	self := e.self
+	t.nodes[self] = e.node
+	t.childPos[self] = e.pos
+	t.kidStart[self] = e.kidsOff
+	h := dom.NewHash64()
+	b.attrs = h.HashNodeScratch(e.node, b.attrs)
+	w := 1.0
+	for j, ci := range e.kidIdx {
+		t.kids[e.kidsOff+int32(j)] = ci
+		t.parent[ci] = self
+		t.childPos[ci] = int32(j)
+		h.MixUint64(t.sig[ci])
+		w += t.weight[ci]
+	}
+	t.weight[self] = w
+	t.sig[self] = h.Sum()
+}
+
+// decompose picks the parallel work units: it expands the document
+// level by level until at least targetBlocks disjoint subtrees are on
+// the frontier (or nothing more can be expanded). Expanded ancestors
+// become the spine, returned in expansion order.
+func decompose(doc *dom.Node, workers int) (blocks []block, spine []*dom.Node) {
+	targetBlocks := workers * 4
+	frontier := []*dom.Node{doc}
+	for round := 0; round < 16 && len(frontier) < targetBlocks; round++ {
+		next := make([]*dom.Node, 0, len(frontier)*4)
+		expanded := false
+		for _, f := range frontier {
+			if len(f.Children) == 0 {
+				next = append(next, f)
+				continue
+			}
+			spine = append(spine, f)
+			next = append(next, f.Children...)
+			expanded = true
+		}
+		frontier = next
+		if !expanded {
+			break
+		}
+	}
+	if len(spine) == 0 {
+		return nil, nil
+	}
+	blocks = make([]block, len(frontier))
+	for i, f := range frontier {
+		blocks[i] = block{root: f}
+	}
+	return blocks, spine
+}
+
+// defaultWorkers resolves Options.Workers: zero or negative means one
+// goroutine per available CPU.
+func defaultWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}

@@ -1,0 +1,51 @@
+package diff
+
+import "sync"
+
+// The server's worker pool runs diffs back to back; the annotation
+// arrays and matcher maps dominated its allocation profile. Both are
+// pooled: a diff draws trees and a matcher at the start and releases
+// them before returning, so steady-state diffing reuses warm memory
+// instead of churning the GC. Pooled objects hold no pointers into the
+// documents after release.
+var treePool = sync.Pool{New: func() any { return new(tree) }}
+
+var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
+
+func treeFromPool() *tree {
+	return treePool.Get().(*tree)
+}
+
+// release returns the tree's arrays to the pool. The nodes slice is
+// cleared so the pool does not pin an entire released document in
+// memory; the numeric arrays keep their capacity warm.
+func (t *tree) release() {
+	if t == nil {
+		return
+	}
+	t.doc = nil
+	clear(t.nodes)
+	t.nodes = t.nodes[:0]
+	treePool.Put(t)
+}
+
+func matcherFromPool(oldT, newT *tree, opts Options, workers int) *matcher {
+	m := matcherPool.Get().(*matcher)
+	m.reset(oldT, newT, opts, workers)
+	return m
+}
+
+// release detaches the matcher from the documents and returns it to the
+// pool. Map scratch is cleared on the next reset, not here: a released
+// matcher holds only indexes and signatures, no document pointers —
+// except the queue and unique-child scratch, which are emptied now.
+func (m *matcher) release() {
+	if m == nil {
+		return
+	}
+	m.old, m.new = nil, nil
+	m.q = m.q[:0]
+	clear(m.ukOld)
+	clear(m.ukNew)
+	matcherPool.Put(m)
+}

@@ -10,46 +10,73 @@ import (
 // phases need: post-order numbering, parent/child indexes, subtree
 // weights and signatures. Keeping these out of dom.Node keeps the hot
 // loops cache-friendly and the DOM clean.
+//
+// Node identity is the post-order index. The former node→index map is
+// gone: child lookups go through the flattened kids/kidStart arrays,
+// which cost one slice read instead of a map probe and let the
+// annotation build fan out over subtrees without a serialized map
+// insert per node.
 type tree struct {
 	doc   *dom.Node
-	nodes []*dom.Node       // post-order
-	index map[*dom.Node]int // node -> post-order position
+	nodes []*dom.Node // post-order
 
-	parent   []int     // post-order index of parent (-1 for document)
-	childPos []int     // position among parent's children
+	parent   []int32   // post-order index of parent (-1 for document)
+	childPos []int32   // position among parent's children
+	kidStart []int32   // offset of node i's children block in kids
+	kids     []int32   // flattened child indexes, one block per node
 	weight   []float64 // paper's weights: text 1+log2(len), element 1+sum
 	sig      []uint64  // subtree content signature
 
 	totalWeight float64
 }
 
-func newTree(doc *dom.Node) *tree {
-	n := doc.Size()
-	t := &tree{
-		doc:      doc,
-		nodes:    make([]*dom.Node, 0, n),
-		index:    make(map[*dom.Node]int, n),
-		parent:   make([]int, 0, n),
-		childPos: make([]int, 0, n),
-		weight:   make([]float64, n),
-		sig:      make([]uint64, n),
-	}
-	dom.WalkPost(doc, func(x *dom.Node) bool {
-		t.index[x] = len(t.nodes)
-		t.nodes = append(t.nodes, x)
-		t.parent = append(t.parent, -1) // fixed up below
-		t.childPos = append(t.childPos, 0)
-		return true
-	})
-	for i, x := range t.nodes {
-		for pos, c := range x.Children {
-			ci := t.index[c]
-			t.parent[ci] = i
-			t.childPos[ci] = pos
+// newTree annotates doc using at most workers goroutines. done, when
+// non-nil, aborts the build early (the caller notices through
+// Options.canceled and discards the partial tree).
+func newTree(doc *dom.Node, workers int, done <-chan struct{}) *tree {
+	t := treeFromPool()
+	t.doc = doc
+	if workers > 1 && len(doc.Children) > 0 {
+		if t.buildParallel(workers, done) {
+			return t
 		}
+		// Decomposition found no parallelism (tiny or degenerate
+		// document): fall through to the sequential path.
 	}
-	t.computeSignatures()
+	n := doc.Size()
+	t.grow(n)
+	b := builder{t: t, done: done}
+	b.build(doc, 0, 0, 0)
+	t.parent[n-1] = -1
+	t.finish()
 	return t
+}
+
+// grow sizes the arrays for n nodes, reusing pooled capacity. Every
+// element is written during the build, so no zeroing is needed.
+func (t *tree) grow(n int) {
+	t.nodes = growSlice(t.nodes, n)
+	t.parent = growSlice(t.parent, n)
+	t.childPos = growSlice(t.childPos, n)
+	t.kidStart = growSlice(t.kidStart, n)
+	t.weight = growSlice(t.weight, n)
+	t.sig = growSlice(t.sig, n)
+	if n > 0 {
+		t.kids = growSlice(t.kids, n-1)
+	} else {
+		t.kids = t.kids[:0]
+	}
+}
+
+func (t *tree) finish() {
+	t.totalWeight = t.weight[t.root()]
+}
+
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func (t *tree) len() int { return len(t.nodes) }
@@ -57,88 +84,102 @@ func (t *tree) len() int { return len(t.nodes) }
 // root returns the post-order index of the document node (always last).
 func (t *tree) root() int { return len(t.nodes) - 1 }
 
-// computeSignatures fills weight and sig in one post-order sweep
-// (Phase 2). The signature of a node hashes its type, label, value,
-// attributes (sorted) and the signatures of its children in order, so
-// it uniquely represents the content of the whole subtree. Weights
-// follow Section 5.2: 1 + log2(1+len) for leaves carrying text,
-// 1 + sum(children) for elements.
-func (t *tree) computeSignatures() {
-	for i, x := range t.nodes { // post-order: children before parents
-		h := newHash()
-		h.mixByte(byte(x.Type))
-		h.mixString(x.Name)
-		switch x.Type {
-		case dom.Element, dom.Document:
-			for _, a := range sortedAttrs(x) {
-				h.mixString(a.Name)
-				h.mixByte(0x1)
-				h.mixString(a.Value)
-				h.mixByte(0x2)
-			}
-			w := 1.0
-			for _, c := range x.Children {
-				ci := t.index[c]
-				h.mixUint64(t.sig[ci])
-				w += t.weight[ci]
-			}
-			t.weight[i] = w
-		default: // Text, Comment, ProcInst
-			h.mixString(x.Value)
-			t.weight[i] = 1 + math.Log2(float64(1+len(x.Value)))
-		}
-		t.sig[i] = h.sum()
-	}
-	t.totalWeight = t.weight[t.root()]
+// child returns the post-order index of the pos-th child of node i.
+func (t *tree) child(i, pos int) int {
+	return int(t.kids[int(t.kidStart[i])+pos])
 }
 
 // ancestor returns the index of the level-th ancestor of i, or -1.
 func (t *tree) ancestor(i, level int) int {
 	for ; level > 0 && i >= 0; level-- {
-		i = t.parent[i]
+		i = int(t.parent[i])
 	}
 	return i
 }
 
-// sortedAttrs mirrors dom's canonical ordering without exporting it.
-func sortedAttrs(n *dom.Node) []dom.Attr {
-	if len(n.Attrs) < 2 {
-		return n.Attrs
+// walkPre visits the subtree rooted at index i in document order. If v
+// returns false for a node, its children are skipped.
+func (t *tree) walkPre(i int, v func(i int) bool) {
+	if !v(i) {
+		return
 	}
-	s := make([]dom.Attr, len(n.Attrs))
-	copy(s, n.Attrs)
-	for i := 1; i < len(s); i++ { // insertion sort: attr lists are tiny
-		for j := i; j > 0 && s[j].Name < s[j-1].Name; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+	base := int(t.kidStart[i])
+	for j := range t.nodes[i].Children {
+		t.walkPre(int(t.kids[base+j]), v)
+	}
+}
+
+// builder fills one contiguous region of the annotation arrays. The
+// sequential path uses a single builder over the whole document; the
+// parallel path runs one per decomposition block, each writing a
+// disjoint index range, so no synchronization is needed beyond the
+// final join.
+type builder struct {
+	t     *tree
+	attrs []dom.Attr // scratch for attribute sorting
+	done  <-chan struct{}
+	steps int
+	stop  bool // done fired: unwind, the partial tree is discarded
+}
+
+// build fills the arrays for the subtree rooted at x, assigning
+// post-order indexes from idx and kids-block offsets from off, and
+// returns x's own index and the next free (idx, off). The parent entry
+// of x itself is the caller's responsibility.
+func (b *builder) build(x *dom.Node, idx, off, pos int32) (int32, int32, int32) {
+	if b.stop {
+		// Cancellation unwind: the returned indexes stay in bounds so
+		// enclosing frames write only into allocated (discarded) space.
+		return idx, idx, off
+	}
+	t := b.t
+	r := off
+	off += int32(len(x.Children))
+	for j, c := range x.Children {
+		var ci int32
+		ci, idx, off = b.build(c, idx, off, int32(j))
+		t.kids[r+int32(j)] = ci
+	}
+	self := idx
+	idx++
+	t.nodes[self] = x
+	t.childPos[self] = pos
+	t.kidStart[self] = r
+
+	// Annotation: streaming byte hash of the node's own content, then
+	// the children's signatures in order (so the signature represents
+	// the entire subtree), and the Section 5.2 weights.
+	h := dom.NewHash64()
+	b.attrs = h.HashNodeScratch(x, b.attrs)
+	switch x.Type {
+	case dom.Element, dom.Document:
+		w := 1.0
+		for j := range x.Children {
+			ci := t.kids[r+int32(j)]
+			t.parent[ci] = self
+			h.MixUint64(t.sig[ci])
+			w += t.weight[ci]
 		}
+		t.weight[self] = w
+	default: // Text, Comment, ProcInst
+		t.weight[self] = 1 + math.Log2(float64(1+len(x.Value)))
 	}
-	return s
-}
+	t.sig[self] = h.Sum()
 
-// fnv1a, inlined to avoid per-node allocations of hash.Hash64.
-type hash64 uint64
-
-func newHash() hash64 { return 14695981039346656037 }
-
-func (h *hash64) mixByte(b byte) {
-	*h = (*h ^ hash64(b)) * 1099511628211
-}
-
-func (h *hash64) mixString(s string) {
-	x := uint64(*h)
-	for i := 0; i < len(s); i++ {
-		x = (x ^ uint64(s[i])) * 1099511628211
+	if b.steps++; b.steps&0x03ff == 0 && b.canceled() {
+		b.stop = true
 	}
-	x = (x ^ 0x1f) * 1099511628211 // terminator so "ab","c" != "a","bc"
-	*h = hash64(x)
+	return self, idx, off
 }
 
-func (h *hash64) mixUint64(v uint64) {
-	x := uint64(*h)
-	for s := 0; s < 64; s += 8 {
-		x = (x ^ (v >> s & 0xff)) * 1099511628211
+func (b *builder) canceled() bool {
+	if b.done == nil {
+		return false
 	}
-	*h = hash64(x)
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
 }
-
-func (h hash64) sum() uint64 { return uint64(h) }

@@ -13,7 +13,10 @@
 //     5.2, "a maximum length (e.g. 50)").
 package lcs
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Pair records one aligned element of a common subsequence: a[AIdx]
 // corresponds to b[BIdx].
@@ -81,20 +84,42 @@ func MaxWeightIncreasing(items []Item) []int {
 	if k == 0 {
 		return nil
 	}
-	ranks := rankKeys(items)
-	// Fenwick tree over ranks 1..maxRank holding, per prefix, the best
+	s := mwisPool.Get().(*mwisScratch)
+	defer mwisPool.Put(s)
+
+	// Rank the keys: sorted + deduplicated, rank looked up by binary
+	// search. BULD Phase 5 runs this once per matched parent pair, so
+	// the former per-call rank maps dominated delta-construction
+	// allocations; the sorted-slice form reuses pooled capacity.
+	keys := s.keys[:0]
+	for _, it := range items {
+		keys = append(keys, it.Key)
+	}
+	sort.Ints(keys)
+	u := 0
+	for i := 0; i < len(keys); i++ {
+		if u == 0 || keys[i] != keys[u-1] {
+			keys[u] = keys[i]
+			u++
+		}
+	}
+	keys = keys[:u]
+	s.keys = keys
+
+	// Fenwick tree over ranks 1..u holding, per prefix, the best
 	// (total weight, item index) chain ending at a key of that rank.
-	tree := make([]chain, len(ranks.sorted)+1)
+	s.tree = grown(s.tree, u+1)
+	tree := s.tree
 	for i := range tree {
 		tree[i].idx = -1 // mark empty; the zero value would alias item 0
 	}
-	best := make([]chain, k) // best chain ending exactly at items[i]
-	prev := make([]int, k)
+	s.prev = grown(s.prev, k)
+	prev := s.prev
 	for i := range prev {
 		prev[i] = -1
 	}
 	for i, it := range items {
-		r := ranks.rank(it.Key)
+		r := sort.SearchInts(keys, it.Key) + 1 // ranks are 1-based
 		// Best chain using keys strictly smaller than it.Key.
 		pre := query(tree, r-1)
 		w := it.Weight
@@ -102,20 +127,39 @@ func MaxWeightIncreasing(items []Item) []int {
 			w += pre.weight
 			prev[i] = pre.idx
 		}
-		best[i] = chain{weight: w, idx: i}
-		update(tree, r, best[i])
+		update(tree, r, chain{weight: w, idx: i})
 	}
-	top := query(tree, len(ranks.sorted))
+	top := query(tree, u)
 	// Reconstruct.
-	var rev []int
+	rev := s.rev[:0]
 	for i := top.idx; i >= 0; i = prev[i] {
 		rev = append(rev, i)
 	}
+	s.rev = rev
 	out := make([]int, len(rev))
 	for i := range rev {
 		out[i] = rev[len(rev)-1-i]
 	}
 	return out
+}
+
+// mwisScratch is the reusable working set of one MaxWeightIncreasing
+// call; pooling it makes repeated Phase 5 invocations allocation-free
+// apart from the returned index slice.
+type mwisScratch struct {
+	keys []int
+	tree []chain
+	prev []int
+	rev  []int
+}
+
+var mwisPool = sync.Pool{New: func() any { return new(mwisScratch) }}
+
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 type chain struct {
@@ -140,30 +184,6 @@ func update(tree []chain, r int, c chain) {
 		}
 	}
 }
-
-type keyRanks struct {
-	sorted []int
-	pos    map[int]int
-}
-
-func rankKeys(items []Item) keyRanks {
-	sorted := make([]int, 0, len(items))
-	seen := make(map[int]struct{}, len(items))
-	for _, it := range items {
-		if _, dup := seen[it.Key]; !dup {
-			seen[it.Key] = struct{}{}
-			sorted = append(sorted, it.Key)
-		}
-	}
-	sort.Ints(sorted)
-	pos := make(map[int]int, len(sorted))
-	for i, k := range sorted {
-		pos[k] = i + 1 // ranks are 1-based for the Fenwick tree
-	}
-	return keyRanks{sorted: sorted, pos: pos}
-}
-
-func (kr keyRanks) rank(key int) int { return kr.pos[key] }
 
 // WindowedIncreasing is the paper's performance heuristic for long
 // child lists: items are cut into blocks of at most window elements and

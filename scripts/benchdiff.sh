@@ -1,0 +1,34 @@
+#!/bin/sh
+# scripts/benchdiff.sh — the benchmark-regression gate.
+#
+# Runs the bench5 experiment and compares the fresh report against the
+# committed baseline (BENCH_5.json). The tolerances live in
+# internal/bench (Bench5Report.Compare) and are deliberately coarse —
+# 3x on time, 1.5x on allocation rates, +0.15 on delta-quality ratios,
+# byte-identical deltas across worker counts — so the gate catches
+# gross regressions on any hardware without flaking on load noise.
+#
+# Usage:
+#   scripts/benchdiff.sh           full-size run against BENCH_5.json
+#   scripts/benchdiff.sh -quick    fewer repetitions (the check.sh smoke)
+#
+# Regenerate the baseline after an intentional perf change with:
+#   make bench-json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+BASELINE=${BASELINE:-BENCH_5.json}
+
+if [ ! -f "$BASELINE" ]; then
+    echo "benchdiff: no baseline at $BASELINE (generate one with 'make bench-json')" >&2
+    exit 1
+fi
+
+QUICK=""
+if [ "${1:-}" = "-quick" ]; then
+    QUICK="-quick"
+fi
+
+$GO run ./cmd/xybench $QUICK -compare "$BASELINE" bench5

@@ -10,6 +10,9 @@
 #   4. race tests  the whole suite under -race, including the
 #                  concurrent Put/Diff/Subscribe stress test
 #   5. fuzz smoke  every fuzzer briefly (FUZZTIME, default 10s)
+#   6. bench smoke quick bench5 run compared against the committed
+#                  BENCH_5.json with coarse tolerances (3x time, 1.5x
+#                  allocations, +0.15 quality ratio, identical deltas)
 #
 # Exits nonzero on the first failing step.
 set -eu
@@ -37,5 +40,9 @@ $GO test ./internal/htmlize -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
 $GO test ./internal/xpathlite -run '^$' -fuzz '^FuzzCompile$' -fuzztime "$FUZZTIME"
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzApply$' -fuzztime "$FUZZTIME"
+$GO test ./internal/diff -run '^$' -fuzz '^FuzzDiffApply$' -fuzztime "$FUZZTIME"
+
+echo "==> bench smoke"
+./scripts/benchdiff.sh -quick
 
 echo "==> check clean"
