@@ -4,20 +4,25 @@
 #   1. fmt        — gofmt, no-op diff required
 #   2. vet        — `go vet` then `xyvet`, the repo's own analyzer suite
 #                   (internal/analysis: nopanic, lockbalance, ctxflow,
-#                   errwrap, syncorder); any diagnostic fails the gate
+#                   errwrap, syncorder, segorder); any diagnostic fails
+#                   the gate
 #   3. build      — every package compiles
 #   4. race       — the whole test suite under the race detector,
 #                   including the concurrent Put/Diff/Subscribe stress test
 #   5. fuzz-smoke — every fuzzer briefly, no corpus growth kept
-#   6. bench-check — quick bench5 run gated against BENCH_5.json
-#                   (coarse tolerances; catches gross perf regressions)
+#   6. load-smoke — the storage load harness at the smoke size; fails
+#                   unless group commit holds fsyncs-per-Put under 0.1
+#                   with 64 concurrent writers
+#   7. bench-check — quick bench5 + bench6 runs gated against
+#                   BENCH_5.json / BENCH_6.json (coarse tolerances;
+#                   catches gross perf regressions)
 #
 # scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet xyvet build test race bench fuzz-smoke bench-json bench-check server crawl-demo
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke bench-json bench-json6 bench-check server crawl-demo
 
-check: fmt vet build race fuzz-smoke bench-check
+check: fmt vet build race fuzz-smoke load-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -47,10 +52,21 @@ bench:
 bench-json:
 	$(GO) run ./cmd/xybench -json BENCH_5.json bench5
 
-# Gate a fresh quick-mode run against the committed baseline; see
+# Regenerate the committed storage-engine baseline (BENCH_6.json):
+# group-commit fsync amortization, latency percentiles, recovery time.
+bench-json6:
+	$(GO) run ./cmd/xybench -json BENCH_6.json bench6
+
+# Gate fresh quick-mode runs against the committed baselines; see
 # scripts/benchdiff.sh for the tolerances.
 bench-check:
 	./scripts/benchdiff.sh -quick
+
+# Storage load harness at the smoke size: 64 concurrent writers must
+# amortize to fewer than 0.1 fsyncs per acknowledged Put while keeping
+# -journal-sync=always semantics (every acked Put fsynced before ack).
+load-smoke:
+	$(GO) run ./cmd/xyload -assert-fsync-ratio 0.1
 
 # Smoke-run every fuzzer briefly: ~10s each, no corpus growth kept.
 # Go runs one fuzz target per invocation, hence one line per fuzzer.

@@ -18,7 +18,10 @@
 //	stats       per-label change-frequency statistics (paper §7)
 //	bench5      machine-readable perf record: ns/op + B/op per workload,
 //	            quality ratios, Workers sweep (see -json / -compare)
-//	all         everything above except bench5
+//	bench6      machine-readable storage-engine record: group-commit
+//	            fsync amortization, Put/reconstruct latency, cache hit
+//	            ratio, recovery time (see -json / -compare)
+//	all         everything above except bench5 and bench6
 //
 // Flags:
 //
@@ -26,9 +29,9 @@
 //	             quick mode keeps every experiment under a few seconds
 //	-seed n      random seed (default 1)
 //	-workers n   diff.Options.Workers for fig4/site (0 = GOMAXPROCS)
-//	-quick       bench5: fewer repetitions (the check.sh smoke)
-//	-json path   bench5: write the report to path (- for stdout)
-//	-compare p   bench5: gate the fresh report against a committed
+//	-quick       bench5/bench6: smaller workload (the check.sh smoke)
+//	-json path   bench5/bench6: write the report to path (- for stdout)
+//	-compare p   bench5/bench6: gate the fresh report against a committed
 //	             baseline; exit 1 when a tolerance is violated
 package main
 
@@ -56,11 +59,11 @@ func main() {
 	flag.BoolVar(&cfg.full, "full", false, "run full-size workloads")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random `seed`")
 	flag.IntVar(&cfg.workers, "workers", 0, "diff `goroutines` for fig4/site (0 = GOMAXPROCS)")
-	flag.BoolVar(&cfg.quick, "quick", false, "bench5: fewer repetitions")
-	flag.StringVar(&cfg.json, "json", "", "bench5: write report to `path` (- for stdout)")
-	flag.StringVar(&cfg.compare, "compare", "", "bench5: compare against baseline report at `path`")
+	flag.BoolVar(&cfg.quick, "quick", false, "bench5/bench6: smaller workload")
+	flag.StringVar(&cfg.json, "json", "", "bench5/bench6: write report to `path` (- for stdout)")
+	flag.StringVar(&cfg.compare, "compare", "", "bench5/bench6: compare against baseline report at `path`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xybench [flags] fig4|fig5|fig6|site|baselines|moves|ablation|stats|bench5|all\n")
+		fmt.Fprintf(os.Stderr, "usage: xybench [flags] fig4|fig5|fig6|site|baselines|moves|ablation|stats|bench5|bench6|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -120,6 +123,56 @@ func runBench5(w io.Writer, cfg benchConfig) error {
 			return fmt.Errorf("%d benchmark gate(s) violated (baseline %s)", len(bad), cfg.compare)
 		}
 		fmt.Fprintf(w, "bench gate: ok against %s\n", cfg.compare)
+	}
+	return nil
+}
+
+// runBench6 runs the storage-engine load harness, optionally writes
+// the report, optionally gates it against a committed baseline.
+func runBench6(w io.Writer, cfg benchConfig) error {
+	r, err := bench.Bench6(cfg.quick, cfg.seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintBench6(w, r)
+	if cfg.json != "" {
+		if cfg.json == "-" {
+			if err := r.WriteJSON(w); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(cfg.json)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				_ = f.Close() // the write error is the one worth reporting
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.compare != "" {
+		f, err := os.Open(cfg.compare)
+		if err != nil {
+			return err
+		}
+		baseline, err := bench.ReadBench6(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if bad := r.Compare(baseline); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "storage bench regression:", msg)
+			}
+			return fmt.Errorf("%d storage benchmark gate(s) violated (baseline %s)", len(bad), cfg.compare)
+		}
+		fmt.Fprintf(w, "storage bench gate: ok against %s\n", cfg.compare)
 	}
 	return nil
 }
@@ -214,6 +267,8 @@ func run(w io.Writer, experiment string, cfg benchConfig) error {
 			report.WriteTable(w)
 		case "bench5":
 			return runBench5(w, cfg)
+		case "bench6":
+			return runBench6(w, cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

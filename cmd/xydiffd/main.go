@@ -20,6 +20,15 @@
 //	         (default always)
 //	-journal-sync-interval flush period under -journal-sync=interval
 //	         (default 100ms)
+//	-store-shards number of storage shards for a fresh data directory
+//	         (existing directories keep their manifest's count;
+//	         default 16)
+//	-fsync-batch max Puts folded into one group-committed fsync
+//	         (default 128)
+//	-fsync-delay how long a commit may linger for more writers to
+//	         join its batch (default 2ms)
+//	-version-cache materialized document versions kept in memory
+//	         (default 4096)
 //	-crawl   enable the acquisition layer: sources registered via the
 //	         /sources API are polled on the adaptive schedule and fed
 //	         through the same parse/diff pipeline as PUTs
@@ -27,14 +36,20 @@
 //	         (defaults 15s / 1h)
 //	-crawl-concurrency fetcher pool size (default min(GOMAXPROCS, 8))
 //
-// Every PUT is journaled to -dir before it is acknowledged; under
+// Storage is the sharded, group-committed engine (internal/vstore):
+// documents hash onto -store-shards segment logs, concurrent PUTs to
+// one shard share a single fsync, and a background compactor folds
+// cold segments into per-document snapshots. Every PUT is appended to
+// its shard's segment before it is acknowledged; under
 // -journal-sync=always an acknowledged version survives even kill -9
-// or power loss. Startup replays the journals on top of the last
-// snapshot (truncating torn tails, refusing corruption with an error
-// that names the file and offset). On SIGINT/SIGTERM the daemon stops
-// accepting requests, lets in-flight diffs finish, checkpoints the
-// store to -dir with crash-safe renames and retires the replayed
-// journals, so a restarted daemon serves every stored version.
+// or power loss. Startup replays the segments on top of the last
+// snapshots (truncating torn tails, refusing corruption with an error
+// that names the file and offset). A data directory from a pre-shard
+// build is refused with a pointer at `xystore migrate`. On
+// SIGINT/SIGTERM the daemon stops accepting requests, lets in-flight
+// diffs finish, checkpoints the store to -dir with crash-safe renames
+// and retires the replayed segments, so a restarted daemon serves
+// every stored version.
 package main
 
 import (
@@ -55,6 +70,7 @@ import (
 	"xydiff/internal/diff"
 	"xydiff/internal/server"
 	"xydiff/internal/store"
+	"xydiff/internal/vstore"
 )
 
 type config struct {
@@ -65,7 +81,11 @@ type config struct {
 	server       server.Config
 	logger       *slog.Logger
 
-	diffWorkers int
+	diffWorkers  int
+	storeShards  int
+	fsyncBatch   int
+	fsyncDelay   time.Duration
+	versionCache int
 
 	crawl            bool
 	crawlMin         time.Duration
@@ -84,6 +104,10 @@ func main() {
 	flag.Int64Var(&cfg.server.MaxBodyBytes, "max-body", 0, "max document `bytes` per PUT (0 = default 16MiB)")
 	flag.StringVar(&cfg.journalSync, "journal-sync", "always", "journal fsync `policy`: always, interval or off")
 	flag.DurationVar(&cfg.syncInterval, "journal-sync-interval", 100*time.Millisecond, "flush `period` under -journal-sync=interval")
+	flag.IntVar(&cfg.storeShards, "store-shards", 0, "storage shard count for a fresh directory (0 = default 16; existing directories keep their manifest's count)")
+	flag.IntVar(&cfg.fsyncBatch, "fsync-batch", 0, "max Puts per group-committed fsync (0 = default 128)")
+	flag.DurationVar(&cfg.fsyncDelay, "fsync-delay", 0, "group-commit linger `window` for more writers to join a batch (0 = default 2ms)")
+	flag.IntVar(&cfg.versionCache, "version-cache", 0, "materialized document versions kept in memory (0 = default 4096)")
 	flag.BoolVar(&cfg.crawl, "crawl", false, "enable the crawler (sources registered via /sources)")
 	flag.DurationVar(&cfg.crawlMin, "crawl-min", 0, "minimum revisit `interval` (0 = default 15s)")
 	flag.DurationVar(&cfg.crawlMax, "crawl-max", 0, "maximum revisit `interval` (0 = default 1h)")
@@ -113,10 +137,17 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	st, err := store.Open(cfg.dir, diff.Options{Workers: cfg.diffWorkers}, store.Durability{
-		Sync:     policy,
-		Interval: cfg.syncInterval,
+	st, err := vstore.Open(cfg.dir, diff.Options{Workers: cfg.diffWorkers}, vstore.Config{
+		Shards:       cfg.storeShards,
+		Sync:         policy,
+		SyncInterval: cfg.syncInterval,
+		MaxBatch:     cfg.fsyncBatch,
+		MaxDelay:     cfg.fsyncDelay,
+		CacheSize:    cfg.versionCache,
 	})
+	if errors.Is(err, vstore.ErrNeedsMigration) {
+		return fmt.Errorf("%s holds a pre-shard data layout: run `xystore -dir %s migrate` once, then restart (%w)", cfg.dir, cfg.dir, err)
+	}
 	if err != nil {
 		return err
 	}

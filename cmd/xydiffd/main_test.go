@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"xydiff/internal/diff"
 	"xydiff/internal/server"
 	"xydiff/internal/store"
+	"xydiff/internal/vstore"
 )
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
@@ -221,8 +224,9 @@ var listenAddrRe = regexp.MustCompile(`msg="xydiffd listening" addr=(\S+)`)
 
 // TestKillNineLosesNoAcknowledgedPut is the durability acceptance test:
 // a real xydiffd process under -journal-sync=always is killed with
-// SIGKILL (no shutdown, no checkpoint) and every PUT it acknowledged
-// must reconstruct from the journal alone.
+// SIGKILL (no shutdown, no checkpoint) — while concurrent writers are
+// driving group-committed PUTs — and every PUT it acknowledged must
+// reconstruct byte-identically from the segment logs alone.
 func TestKillNineLosesNoAcknowledgedPut(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and SIGKILLs a subprocess")
@@ -234,7 +238,8 @@ func TestKillNineLosesNoAcknowledgedPut(t *testing.T) {
 		t.Fatalf("build daemon: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-journal-sync", "always")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir,
+		"-journal-sync", "always", "-store-shards", "4", "-fsync-delay", "3ms")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -284,15 +289,61 @@ func TestKillNineLosesNoAcknowledgedPut(t *testing.T) {
 		served[i] = body
 	}
 
-	// No quarter: the process dies between one instruction and the next.
+	// Concurrent writers drive group-committed PUTs across the shards;
+	// the kill lands somewhere in the middle of their run. Every 2xx the
+	// daemon returned is an acknowledged, fsynced version.
+	type acked struct {
+		id, want string
+		version  int
+	}
+	var (
+		mu        sync.Mutex
+		ackedPuts []acked
+	)
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("hot-%02d", w)
+			for v := 1; ; v++ {
+				xml := fmt.Sprintf(`<r><w>%d</w><v>%d</v></r>`, w, v)
+				req, err := http.NewRequest("PUT", url+"/docs/"+id, strings.NewReader(xml))
+				if err != nil {
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return // daemon died mid-request: this PUT was never acked
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code >= 300 {
+					return
+				}
+				mu.Lock()
+				ackedPuts = append(ackedPuts, acked{id: id, version: v, want: xml})
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// No quarter: the process dies between one instruction and the next,
+	// while the writers above are mid-flight.
+	time.Sleep(150 * time.Millisecond)
 	if err := cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
 	cmd.Wait()
+	wg.Wait()
+	if len(ackedPuts) == 0 {
+		t.Fatal("no concurrent PUT was acknowledged before the kill")
+	}
 
-	// Everything acknowledged must come back from the journal alone (no
-	// checkpoint ever ran).
-	st, err := store.Open(dir, diff.Options{}, store.Durability{Sync: store.SyncOff})
+	// Everything acknowledged must come back from the segment logs alone
+	// (no checkpoint ever ran).
+	st, err := vstore.Open(dir, diff.Options{}, vstore.Config{Sync: store.SyncOff, CompactSegments: -1})
 	if err != nil {
 		t.Fatalf("reopen after SIGKILL: %v", err)
 	}
@@ -312,8 +363,21 @@ func TestKillNineLosesNoAcknowledgedPut(t *testing.T) {
 	if got := st.Versions("other"); got != 1 {
 		t.Errorf("other has %d versions, want 1", got)
 	}
+	for _, a := range ackedPuts {
+		doc, err := st.Version(a.id, a.version)
+		if err != nil {
+			t.Errorf("acknowledged %s v%d lost after SIGKILL: %v", a.id, a.version, err)
+			continue
+		}
+		if got := doc.String(); got != a.want {
+			t.Errorf("%s v%d differs after SIGKILL:\n got %q\nwant %q", a.id, a.version, got, a.want)
+		}
+	}
 	rec := st.RecoveryStats()
-	if rec.JournalRecords != len(versions)+1 {
-		t.Errorf("replayed %d journal records, want %d", rec.JournalRecords, len(versions)+1)
+	if want := len(versions) + 1 + len(ackedPuts); rec.JournalRecords < want {
+		t.Errorf("replayed %d segment records, want at least %d", rec.JournalRecords, want)
+	}
+	if rec.SnapshotVersions != 0 {
+		t.Errorf("recovery found %d snapshot versions, want 0 (no checkpoint ran)", rec.SnapshotVersions)
 	}
 }

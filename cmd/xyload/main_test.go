@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xydiff/internal/bench"
+	"xydiff/internal/diff"
+	"xydiff/internal/vstore"
+)
+
+// TestLoadSmoke is the in-process version of `make load-smoke`: a
+// small concurrent workload must register, churn, assert the
+// group-commit fsync ratio and leave a reopenable directory behind.
+func TestLoadSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	cfg := bench.LoadConfig{
+		Dir:           dir,
+		Docs:          32,
+		Writers:       24,
+		PutsPerWriter: 3,
+		Seed:          7,
+	}
+	// The ratio bound here only proves the assertion plumbing (never
+	// more fsyncs than puts, with slack for a degenerate tiny run); the
+	// real < 0.1 amortization gate is `make load-smoke` at 64 writers.
+	if err := run(cfg, jsonPath, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	// The report parses back and records the workload.
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := bench.ReadBench6(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AckedPuts < int64(cfg.Docs) {
+		t.Fatalf("report acked %d puts, want at least %d", r.AckedPuts, cfg.Docs)
+	}
+	if r.RecoveredDocs != cfg.Docs {
+		t.Fatalf("report recovered %d docs, want %d", r.RecoveredDocs, cfg.Docs)
+	}
+	// The -dir directory survives the harness and reopens.
+	s, err := vstore.Open(dir, diff.Options{}, vstore.Config{})
+	if err != nil {
+		t.Fatalf("harness directory does not reopen: %v", err)
+	}
+	defer s.Close()
+	if got := len(s.IDs()); got != cfg.Docs {
+		t.Fatalf("harness directory holds %d docs, want %d", got, cfg.Docs)
+	}
+}
+
+// TestAssertFsyncRatioFails: an impossible ratio must turn into a
+// nonzero exit (error) so the CI gate actually gates.
+func TestAssertFsyncRatioFails(t *testing.T) {
+	cfg := bench.LoadConfig{
+		Docs:          8,
+		Writers:       4,
+		PutsPerWriter: 2,
+		Seed:          3,
+	}
+	if err := run(cfg, "", 0.0000001); err == nil {
+		t.Fatal("assert-fsync-ratio with an impossible bound succeeded")
+	}
+}

@@ -4,6 +4,12 @@
 // any past version is reconstructible, and the delta chain is
 // queryable.
 //
+// The CLI is engine-agnostic: a directory in the sharded segment-log
+// layout (MANIFEST.json) opens through internal/vstore, a directory in
+// the older per-document layout opens through internal/store, and a
+// fresh directory is created sharded. `migrate` converts an old
+// directory in place (the original is kept as DIR.pre-migrate).
+//
 // Usage:
 //
 //	xystore -dir DIR put ID FILE        install a new version of ID
@@ -14,24 +20,30 @@
 //	xystore -dir DIR aggregate ID A B   print the combined delta A -> B
 //	xystore -dir DIR value ID EXPR      xpathlite value, every version
 //	xystore -dir DIR grep ID A B EXPR   ops between A and B matching EXPR
+//	xystore -dir DIR inspect            shard / segment / cache summary
+//	xystore -dir DIR compact            fold segment logs into snapshots
+//	xystore -dir DIR migrate [SHARDS]   convert an old layout in place
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
+	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 	"xydiff/internal/store"
+	"xydiff/internal/vstore"
 	"xydiff/internal/xpathlite"
 )
 
 func main() {
 	dir := flag.String("dir", "xystore-data", "warehouse `directory`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xystore -dir DIR put|ids|log|cat|delta|aggregate|value|grep ...\n")
+		fmt.Fprintf(os.Stderr, "usage: xystore -dir DIR put|ids|log|cat|delta|aggregate|value|grep|inspect|compact|migrate ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,12 +57,85 @@ func main() {
 	}
 }
 
+// engine is the warehouse surface both storage engines provide. The
+// sharded engine (*vstore.Store) satisfies it directly; the old
+// per-document engine is adapted by oldEngine, which persists on Close.
+type engine interface {
+	Put(id string, doc *dom.Node) (int, *delta.Delta, error)
+	IDs() []string
+	Versions(id string) int
+	Version(id string, n int) (*dom.Node, error)
+	Delta(id string, n int) (*delta.Delta, error)
+	Aggregate(id string, from, to int) (*delta.Delta, error)
+	Timeline(id string, expr *xpathlite.Expr) ([]store.VersionValue, error)
+	ChangesMatching(id string, from, to int, pattern *xpathlite.Expr, kinds ...delta.Kind) ([]store.ChangeHit, error)
+	Close() error
+}
+
+// oldEngine adapts the per-document store: reads are pass-through and
+// a dirty store is saved back to dir on Close, mirroring the engine's
+// original save-after-put behavior.
+type oldEngine struct {
+	*store.Store
+	dir   string
+	dirty bool
+}
+
+func (e *oldEngine) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
+	v, d, err := e.Store.Put(id, doc)
+	if err == nil {
+		e.dirty = true
+	}
+	return v, d, err
+}
+
+func (e *oldEngine) Close() error {
+	if !e.dirty {
+		return nil
+	}
+	e.dirty = false
+	return e.Store.Save(e.dir)
+}
+
+// loadOrEmpty opens dir with whichever engine owns its layout: sharded
+// directories (and fresh ones) through vstore, old per-document
+// directories through the legacy store.
+func loadOrEmpty(dir string) (engine, error) {
+	s, err := vstore.Open(dir, diff.Options{}, vstore.Config{})
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, vstore.ErrNeedsMigration) {
+		return nil, err
+	}
+	old, err := store.Load(dir, diff.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &oldEngine{Store: old, dir: dir}, nil
+}
+
 func run(dir string, args []string) error {
+	cmd, rest := args[0], args[1:]
+	// migrate rewrites the directory layout itself, so it runs before
+	// any engine has the directory open.
+	if cmd == "migrate" {
+		return runMigrate(dir, rest)
+	}
 	s, err := loadOrEmpty(dir)
 	if err != nil {
 		return err
 	}
-	cmd, rest := args[0], args[1:]
+	err = exec(s, cmd, rest)
+	// Close flushes whatever the command wrote (the old engine saves its
+	// directory here), so its error is part of the command's outcome.
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func exec(s engine, cmd string, rest []string) error {
 	switch cmd {
 	case "put":
 		if len(rest) != 2 {
@@ -69,7 +154,7 @@ func run(dir string, args []string) error {
 		} else {
 			fmt.Printf("%s: version %d, delta %d bytes (%s)\n", rest[0], v, d.Size(), d.Count())
 		}
-		return s.Save(dir)
+		return nil
 	case "ids":
 		for _, id := range s.IDs() {
 			fmt.Printf("%s\t%d versions\n", id, s.Versions(id))
@@ -110,6 +195,7 @@ func run(dir string, args []string) error {
 			return fmt.Errorf("unknown document %q", id)
 		}
 		if len(rest) == 2 {
+			var err error
 			if v, err = strconv.Atoi(rest[1]); err != nil {
 				return fmt.Errorf("bad version %q", rest[1])
 			}
@@ -193,14 +279,71 @@ func run(dir string, args []string) error {
 			fmt.Printf("v%d\t%s\t%s\n", h.Version, h.Op.Kind(), h.Path)
 		}
 		return nil
+	case "inspect":
+		return runInspect(s)
+	case "compact":
+		vs, ok := s.(*vstore.Store)
+		if !ok {
+			return fmt.Errorf("compact needs the sharded layout; run `xystore -dir DIR migrate` first")
+		}
+		before := vs.StorageStats()
+		if err := vs.Checkpoint(); err != nil {
+			return err
+		}
+		after := vs.StorageStats()
+		fmt.Printf("compacted %d shards: %d segments -> %d, %d documents snapshotted\n",
+			after.Shards, before.Segments, after.Segments, after.Documents)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func loadOrEmpty(dir string) (*store.Store, error) {
-	if _, err := os.Stat(dir); os.IsNotExist(err) {
-		return store.New(diff.Options{}), nil
+// runInspect prints the storage summary for either engine; for the
+// sharded engine that is the shard / segment / group-commit / cache
+// breakdown the daemon exports on /healthz.
+func runInspect(s engine) error {
+	vs, ok := s.(*vstore.Store)
+	if !ok {
+		fmt.Printf("layout\tper-document (pre-shard)\n")
+		fmt.Printf("documents\t%d\n", len(s.IDs()))
+		fmt.Printf("hint\trun `xystore -dir DIR migrate` to convert to the sharded layout\n")
+		return nil
 	}
-	return store.Load(dir, diff.Options{})
+	ss := vs.StorageStats()
+	fmt.Printf("layout\tsharded segment logs (vstore-v1)\n")
+	fmt.Printf("shards\t%d\n", ss.Shards)
+	fmt.Printf("documents\t%d\n", ss.Documents)
+	fmt.Printf("segments\t%d\n", ss.Segments)
+	fmt.Printf("fsyncs\t%d (mean batch %.2f, max %d)\n", ss.FsyncTotal, ss.MeanBatch(), ss.MaxBatch)
+	fmt.Printf("cache\t%d/%d resident, hit ratio %.3f\n", ss.CacheLen, ss.CacheCap, ss.CacheHitRatio())
+	fmt.Printf("compactions\t%d (%.3fs total)\n", ss.Compactions, ss.CompactionSeconds)
+	for _, sh := range ss.PerShard {
+		fmt.Printf("shard %03d\t%d docs\t%d segments\t%d appends\t%d fsyncs\t%d rejected\n",
+			sh.Shard, sh.Docs, sh.Segments, sh.Appends, sh.Syncs, sh.Rejected)
+	}
+	return nil
+}
+
+// runMigrate converts an old per-document directory to the sharded
+// layout in place, keeping the original as DIR.pre-migrate.
+func runMigrate(dir string, rest []string) error {
+	cfg := vstore.Config{}
+	switch len(rest) {
+	case 0:
+	case 1:
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad shard count %q", rest[0])
+		}
+		cfg.Shards = n
+	default:
+		return fmt.Errorf("migrate takes at most one argument (SHARDS)")
+	}
+	count, err := vstore.Migrate(dir, diff.Options{}, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migrated %d documents to the sharded layout (backup kept at %s.pre-migrate)\n", count, dir)
+	return nil
 }

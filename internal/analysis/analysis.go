@@ -208,5 +208,6 @@ func All() []*Analyzer {
 		CtxFlow,
 		ErrWrap,
 		SyncOrder,
+		SegOrder,
 	}
 }

@@ -25,6 +25,7 @@ func TestLockBalanceFixture(t *testing.T) { runFixture(t, LockBalance) }
 func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow) }
 func TestErrWrapFixture(t *testing.T)     { runFixture(t, ErrWrap) }
 func TestSyncOrderFixture(t *testing.T)   { runFixture(t, SyncOrder) }
+func TestSegOrderFixture(t *testing.T)    { runFixture(t, SegOrder) }
 
 func runFixture(t *testing.T, a *Analyzer) {
 	t.Helper()

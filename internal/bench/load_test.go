@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSmall: the harness end to end at a tiny size — every
+// writer's puts are acked, the fsync count is amortized below one per
+// put, and recovery sees the whole corpus.
+func TestRunLoadSmall(t *testing.T) {
+	r, err := RunLoad(LoadConfig{
+		Dir:           t.TempDir(),
+		Docs:          24,
+		Writers:       16,
+		PutsPerWriter: 3,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPuts := int64(24 + 16*3)
+	if r.AckedPuts != wantPuts {
+		t.Fatalf("acked %d puts, want %d", r.AckedPuts, wantPuts)
+	}
+	// At this tiny size batching may degenerate to one fsync per put on
+	// a fast filesystem; the amortization claim itself is gated at the
+	// 64-writer smoke size (cmd/xyload, make load-smoke). Here we only
+	// pin the accounting: never more fsyncs than acked puts.
+	if r.FsyncsPerPut > 1.0 {
+		t.Fatalf("fsyncs per put %.3f > 1: more syncs than acked puts", r.FsyncsPerPut)
+	}
+	if r.MeanBatch < 1.0 {
+		t.Fatalf("mean fsync batch %.2f < 1", r.MeanBatch)
+	}
+	if r.RecoveredDocs != 24 {
+		t.Fatalf("recovered %d docs, want 24", r.RecoveredDocs)
+	}
+	if r.RecoveredVersions != int(wantPuts) {
+		t.Fatalf("recovered %d versions, want %d", r.RecoveredVersions, wantPuts)
+	}
+	if r.Notifications != 16*3 {
+		t.Fatalf("%d observer notifications, want %d (one per versioning diff)", r.Notifications, 16*3)
+	}
+	if r.Reads == 0 || r.PutP50Micros == 0 {
+		t.Fatalf("latency sample empty: reads=%d putP50=%d", r.Reads, r.PutP50Micros)
+	}
+
+	// JSON round-trip.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench6(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *r {
+		t.Fatal("bench6 report does not round-trip through JSON")
+	}
+}
+
+func TestBench6CompareGates(t *testing.T) {
+	base := &Bench6Report{
+		FsyncsPerPut:  0.06,
+		MeanBatch:     16,
+		PutP50Micros:  5000,
+		CacheHitRatio: 0.9,
+	}
+	if bad := (*base).Compare(base); len(bad) != 0 {
+		t.Fatalf("self-compare flagged: %v", bad)
+	}
+	regressed := *base
+	regressed.FsyncsPerPut = 1.2 // both the 3x and the absolute >= 1.0 gate
+	regressed.MeanBatch = 1.0
+	regressed.PutP50Micros = 50000
+	regressed.CacheHitRatio = 0.1
+	bad := regressed.Compare(base)
+	if len(bad) != 5 {
+		t.Fatalf("regressed report tripped %d gates, want 5: %v", len(bad), bad)
+	}
+	for _, want := range []string{"fsyncs per acked Put", "not batching", "mean fsync batch", "put p50", "cache hit ratio"} {
+		found := false
+		for _, msg := range bad {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no gate message mentions %q in %v", want, bad)
+		}
+	}
+}
+
+func TestPercentileMicros(t *testing.T) {
+	if got := percentileMicros(nil, 0.5); got != 0 {
+		t.Fatalf("empty sample p50 = %d", got)
+	}
+	ds := []time.Duration{5 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond}
+	if got := percentileMicros(ds, 0.5); got != 3000 {
+		t.Fatalf("p50 = %dµs, want 3000", got)
+	}
+	if got := percentileMicros(ds, 0.99); got != 5000 {
+		t.Fatalf("p99 = %dµs, want 5000", got)
+	}
+}

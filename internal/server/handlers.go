@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"xydiff/internal/delta"
 	"xydiff/internal/dom"
 	"xydiff/internal/store"
+	"xydiff/internal/vstore"
 	"xydiff/internal/xpathlite"
 )
 
@@ -29,6 +31,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// shedLoad answers a shed request: 503 with a Retry-After hint that
+// grows with consecutive rejections (retry.Policy) and resets once a
+// submission gets through, so sustained overload pushes retries
+// further out instead of re-inviting the herd.
+func (s *Server) shedLoad(w http.ResponseWriter, msg string) {
+	s.metrics.addRejected()
+	after := int(s.shedBackoff.Next().Round(time.Second) / time.Second)
+	if after < 1 {
+		after = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(after))
+	writeError(w, http.StatusServiceUnavailable, msg)
 }
 
 // storeError maps store failures onto HTTP statuses: unknown documents
@@ -70,6 +86,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"openCircuits": cs.OpenCircuits,
 			"fetches":      cs.Fetches,
 			"notModified":  cs.NotModified,
+		}
+	}
+	if eng, ok := s.store.(storageStatser); ok {
+		ss := eng.StorageStats()
+		body["storage"] = map[string]any{
+			"engine":            "vstore",
+			"shards":            ss.Shards,
+			"documents":         ss.Documents,
+			"segments":          ss.Segments,
+			"fsyncTotal":        ss.FsyncTotal,
+			"meanFsyncBatch":    ss.MeanBatch(),
+			"maxFsyncBatch":     ss.MaxBatch,
+			"rejected":          ss.Rejected,
+			"cacheHitRatio":     ss.CacheHitRatio(),
+			"cacheLen":          ss.CacheLen,
+			"cacheCap":          ss.CacheCap,
+			"compactions":       ss.Compactions,
+			"compactionSeconds": ss.CompactionSeconds,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -126,6 +160,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Acquisition-layer counters, present whenever crawling is enabled.
 	if s.crawler != nil {
 		s.crawler.Metrics().WritePrometheus(w, "xydiffd_crawl")
+	}
+
+	// Sharded-engine counters: group-commit effectiveness, version
+	// cache and compaction, overall and per shard.
+	if eng, ok := s.store.(storageStatser); ok {
+		writeStorageMetrics(w, eng.StorageStats())
+	}
+}
+
+// writeStorageMetrics renders the sharded engine's counters in
+// Prometheus text format.
+func writeStorageMetrics(w io.Writer, ss vstore.StorageStats) {
+	fmt.Fprintln(w, "# HELP xydiffd_store_shards Hash shards in the storage engine.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_shards gauge")
+	fmt.Fprintf(w, "xydiffd_store_shards %d\n", ss.Shards)
+	fmt.Fprintln(w, "# HELP xydiffd_store_fsync_total Segment fsyncs performed by group commit.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_fsync_total counter")
+	fmt.Fprintf(w, "xydiffd_store_fsync_total %d\n", ss.FsyncTotal)
+	fmt.Fprintln(w, "# HELP xydiffd_store_fsync_batch_size Mean records acknowledged per group-commit fsync.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_fsync_batch_size gauge")
+	fmt.Fprintf(w, "xydiffd_store_fsync_batch_size %g\n", ss.MeanBatch())
+	fmt.Fprintln(w, "# HELP xydiffd_store_fsync_batch_max Largest group-commit batch so far.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_fsync_batch_max gauge")
+	fmt.Fprintf(w, "xydiffd_store_fsync_batch_max %d\n", ss.MaxBatch)
+	fmt.Fprintln(w, "# HELP xydiffd_store_busy_rejected_total Puts shed because a shard's group-commit queue was saturated.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_busy_rejected_total counter")
+	fmt.Fprintf(w, "xydiffd_store_busy_rejected_total %d\n", ss.Rejected)
+	fmt.Fprintln(w, "# HELP xydiffd_store_compaction_seconds Cumulative time spent compacting segments into snapshots.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_compaction_seconds counter")
+	fmt.Fprintf(w, "xydiffd_store_compaction_seconds %g\n", ss.CompactionSeconds)
+	fmt.Fprintln(w, "# HELP xydiffd_store_compactions_total Compaction passes completed.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_compactions_total counter")
+	fmt.Fprintf(w, "xydiffd_store_compactions_total %d\n", ss.Compactions)
+	fmt.Fprintln(w, "# HELP xydiffd_store_cache_hit_ratio Version-cache hit ratio since start.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_cache_hit_ratio gauge")
+	fmt.Fprintf(w, "xydiffd_store_cache_hit_ratio %g\n", ss.CacheHitRatio())
+	fmt.Fprintln(w, "# HELP xydiffd_store_cache_resident Materialized document trees resident in the version cache.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_cache_resident gauge")
+	fmt.Fprintf(w, "xydiffd_store_cache_resident %d\n", ss.CacheLen)
+	fmt.Fprintln(w, "# HELP xydiffd_store_segments Segment files on disk.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_segments gauge")
+	fmt.Fprintln(w, "# HELP xydiffd_store_shard_fsync_total Segment fsyncs per shard.")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_shard_fsync_total counter")
+	for _, sh := range ss.PerShard {
+		fmt.Fprintf(w, "xydiffd_store_segments{shard=\"%d\"} %d\n", sh.Shard, sh.Segments)
+		fmt.Fprintf(w, "xydiffd_store_shard_fsync_total{shard=\"%d\"} %d\n", sh.Shard, sh.Syncs)
+		fmt.Fprintf(w, "xydiffd_store_shard_docs{shard=\"%d\"} %d\n", sh.Shard, sh.Docs)
+		fmt.Fprintf(w, "xydiffd_store_shard_batch_records_total{shard=\"%d\"} %d\n", sh.Shard, sh.BatchRecords)
+		fmt.Fprintf(w, "xydiffd_store_shard_rejected_total{shard=\"%d\"} %d\n", sh.Shard, sh.Rejected)
 	}
 }
 
@@ -197,25 +280,24 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		done <- putResult{version: v, delta: d, err: err}
 	})
 	if submitErr != nil {
-		s.metrics.addRejected()
-		// The hint grows with consecutive rejections (retry.Policy) and
-		// resets once a submission gets through: sustained overload
-		// pushes retries further out instead of re-inviting the herd.
-		after := int(s.shedBackoff.Next().Round(time.Second) / time.Second)
-		if after < 1 {
-			after = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(after))
-		writeError(w, http.StatusServiceUnavailable, submitErr.Error())
+		s.shedLoad(w, submitErr.Error())
 		return
 	}
-	s.shedBackoff.Reset()
 	select {
 	case res := <-done:
+		if errors.Is(res.err, vstore.ErrBusy) {
+			// A saturated group-commit queue is the storage layer's
+			// backpressure: same load-shedding contract as a full diff
+			// queue — 503 with a growing Retry-After, never blocking.
+			s.shedLoad(w, res.err.Error())
+			return
+		}
 		if res.err != nil {
 			storeError(w, res.err)
 			return
 		}
+		// The hint resets once a Put makes it through end to end.
+		s.shedBackoff.Reset()
 		resp := map[string]any{"id": id, "version": res.version}
 		if res.delta != nil {
 			resp["deltaOps"] = res.delta.Count().Total()

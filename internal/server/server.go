@@ -12,6 +12,7 @@
 package server
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -19,12 +20,41 @@ import (
 
 	"xydiff/internal/alert"
 	"xydiff/internal/crawl"
+	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 	"xydiff/internal/retry"
 	"xydiff/internal/stats"
 	"xydiff/internal/store"
+	"xydiff/internal/vstore"
 )
+
+// Store is the versioned repository the server serves: the method set
+// shared by the per-document engine (*store.Store) and the sharded,
+// group-committed engine (*vstore.Store). The HTTP layer is
+// engine-agnostic; engine-specific observability (per-shard group
+// commit, version cache) is picked up through the optional
+// storageStatser capability.
+type Store interface {
+	PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error)
+	Latest(id string) (*dom.Node, int, error)
+	Version(id string, n int) (*dom.Node, error)
+	Versions(id string) int
+	IDs() []string
+	Delta(id string, n int) (*delta.Delta, error)
+	Aggregate(id string, from, to int) (*delta.Delta, error)
+	SetObserver(store.Observer)
+	SyncPolicy() store.SyncPolicy
+	DurabilityStats() store.DurabilityStats
+	RecoveryStats() store.RecoveryStats
+}
+
+// storageStatser is the optional capability the sharded engine adds:
+// when the store implements it, /healthz grows a storage block and
+// /metrics per-shard group-commit, compaction and cache series.
+type storageStatser interface {
+	StorageStats() vstore.StorageStats
+}
 
 // Config tunes the server. The zero value picks production defaults.
 type Config struct {
@@ -91,7 +121,7 @@ func (c Config) withDefaults() Config {
 // Server is the xydiffd HTTP service over one store.
 type Server struct {
 	cfg       Config
-	store     *store.Store
+	store     Store
 	alerter   *alert.Alerter
 	collector *stats.Collector
 	metrics   *Metrics
@@ -116,7 +146,7 @@ type Server struct {
 // New wires a server around st. It installs the store's observer hook,
 // so st must not have another observer; the server should be the only
 // writer-side consumer of the store from here on.
-func New(st *store.Store, cfg Config) *Server {
+func New(st Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,

@@ -1,0 +1,84 @@
+package vstore
+
+import (
+	"container/list"
+	"sync"
+
+	"xydiff/internal/dom"
+)
+
+// versionCache is the bounded LRU of materialized current versions.
+// Documents outside it keep only serialized bytes in their docState;
+// a cache miss replays base + deltas once and re-inserts the tree, so
+// hot documents pay reconstruction once per residency instead of once
+// per read. Entries are keyed by document id and validated against the
+// version count, so a stale tree can never be served.
+//
+// The cached tree is shared between the store and readers that Clone
+// it; PutContext hands the cached old version to the diff, which never
+// mutates its left input.
+type versionCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	id       string
+	doc      *dom.Node
+	versions int
+}
+
+func newVersionCache(max int) *versionCache {
+	return &versionCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached tree for id when it is current at the given
+// version count, nil otherwise.
+func (c *versionCache) get(id string, versions int) *dom.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.items[id]
+	if e == nil {
+		return nil
+	}
+	ent := e.Value.(*cacheEntry)
+	if ent.versions != versions {
+		// Stale (the entry lost a race with a newer Put); drop it.
+		c.ll.Remove(e)
+		delete(c.items, id)
+		return nil
+	}
+	c.ll.MoveToFront(e)
+	return ent.doc
+}
+
+// put installs (or refreshes) the tree for id at the given version
+// count, evicting least-recently-used entries beyond the cap.
+func (c *versionCache) put(id string, doc *dom.Node, versions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.items[id]; e != nil {
+		ent := e.Value.(*cacheEntry)
+		if versions < ent.versions {
+			return // never replace a newer tree with an older one
+		}
+		ent.doc, ent.versions = doc, versions
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, doc: doc, versions: versions})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).id)
+	}
+}
+
+// len reports how many trees are resident.
+func (c *versionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

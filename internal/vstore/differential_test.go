@@ -1,0 +1,183 @@
+package vstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/store"
+)
+
+// The sharded engine must be observationally identical to the
+// per-document engine: same deltas, same reconstructions, byte for
+// byte, over a changesim-driven golden corpus — including after a
+// checkpoint and a reopen, where vstore's lazily-materialized trees
+// come from replay instead of from the diff that created them.
+
+func renderDelta(t *testing.T, d *delta.Delta) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestDifferentialAgainstPerDocumentStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	oldEngine := store.New(diff.Options{})
+	dir := t.TempDir()
+	newEngine, err := Open(dir, diff.Options{}, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newEngine.Close()
+
+	type docRun struct {
+		id       string
+		versions int
+	}
+	var runs []docRun
+	for d := 0; d < 4; d++ {
+		id := fmt.Sprintf("doc-%d", d)
+		doc := changesim.Catalog(rng, 3, 4)
+		cur := doc
+		const versions = 5
+		for v := 0; v < versions; v++ {
+			vOld, dOld, errOld := oldEngine.Put(id, cur)
+			vNew, dNew, errNew := newEngine.Put(id, cur)
+			if (errOld == nil) != (errNew == nil) {
+				t.Fatalf("%s v%d: old err=%v new err=%v", id, v+1, errOld, errNew)
+			}
+			if vOld != vNew {
+				t.Fatalf("%s: version numbers diverge (%d vs %d)", id, vOld, vNew)
+			}
+			if (dOld == nil) != (dNew == nil) {
+				t.Fatalf("%s v%d: delta nilness diverges", id, v+1)
+			}
+			if dOld != nil && renderDelta(t, dOld) != renderDelta(t, dNew) {
+				t.Fatalf("%s v%d: deltas differ:\nold %s\nnew %s",
+					id, v+1, renderDelta(t, dOld), renderDelta(t, dNew))
+			}
+			res, err := changesim.Simulate(cur, changesim.Uniform(0.12, rng.Int63()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = res.New
+		}
+		runs = append(runs, docRun{id: id, versions: versions})
+	}
+
+	compare := func(eng *Store, label string) {
+		t.Helper()
+		for _, run := range runs {
+			for v := 1; v <= run.versions; v++ {
+				wantDoc, err := oldEngine.Version(run.id, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotDoc, err := eng.Version(run.id, v)
+				if err != nil {
+					t.Fatalf("%s: %s v%d: %v", label, run.id, v, err)
+				}
+				if gotDoc.String() != wantDoc.String() {
+					t.Fatalf("%s: %s v%d reconstruction differs", label, run.id, v)
+				}
+				if v < run.versions {
+					wantD, err := oldEngine.Delta(run.id, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotD, err := eng.Delta(run.id, v)
+					if err != nil {
+						t.Fatalf("%s: %s delta %d: %v", label, run.id, v, err)
+					}
+					if renderDelta(t, gotD) != renderDelta(t, wantD) {
+						t.Fatalf("%s: %s delta %d differs", label, run.id, v)
+					}
+				}
+			}
+			wantAgg, err := oldEngine.Aggregate(run.id, 1, run.versions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAgg, err := eng.Aggregate(run.id, 1, run.versions)
+			if err != nil {
+				t.Fatalf("%s: aggregate %s: %v", label, run.id, err)
+			}
+			if renderDelta(t, gotAgg) != renderDelta(t, wantAgg) {
+				t.Fatalf("%s: %s aggregate differs", label, run.id)
+			}
+		}
+	}
+	compare(newEngine, "live")
+
+	// A checkpoint folds everything into snapshots; correctness must
+	// not depend on where the bytes live.
+	if err := newEngine.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	compare(newEngine, "after checkpoint")
+
+	// Reopen: trees now come from replaying persisted bytes, and the
+	// version chains must still match the old engine exactly.
+	if err := newEngine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir, diff.Options{}, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	compare(reopened, "reopened")
+
+	// And diffs taken AFTER a reopen must still match: the replayed
+	// latest tree carries the same XIDs the diff-produced tree had.
+	for _, run := range runs {
+		nextOld, err := oldEngine.Version(run.id, run.versions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut, err := changesim.Simulate(nextOld, changesim.Uniform(0.15, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dOld, errOld := oldEngine.Put(run.id, mut.New)
+		_, dNew, errNew := reopened.Put(run.id, mut.New)
+		if errOld != nil || errNew != nil {
+			t.Fatalf("%s post-reopen put: old=%v new=%v", run.id, errOld, errNew)
+		}
+		if renderDelta(t, dOld) != renderDelta(t, dNew) {
+			t.Fatalf("%s: post-reopen deltas differ:\nold %s\nnew %s",
+				run.id, renderDelta(t, dOld), renderDelta(t, dNew))
+		}
+	}
+}
+
+// TestSerializationRoundTrip pins the property the byte-resident
+// design leans on: parse(serialize(tree)) + xid.Assign reproduces a
+// tree that serializes identically.
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	doc := changesim.Site(rng, 5)
+	body, err := serializeTree(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dom.ParseWithOptions(bytes.NewReader(body), snapshotLoadOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := serializeTree(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("serialize→parse→serialize is not a fixed point")
+	}
+}

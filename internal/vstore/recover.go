@@ -1,0 +1,384 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xydiff/internal/diff"
+	"xydiff/internal/faultfs"
+	"xydiff/internal/store"
+)
+
+// ErrNeedsMigration reports that a directory holds the old
+// per-document store layout; `xystore -dir DIR migrate` converts it to
+// the sharded segment layout in place (with a backup).
+var ErrNeedsMigration = errors.New("vstore: directory uses the per-document store layout; run `xystore migrate`")
+
+const (
+	manifestName   = "MANIFEST.json"
+	manifestFormat = "vstore-v1"
+	shardDirFmt    = "shard-%03d"
+	docsDirName    = "docs"
+)
+
+// manifest is the engine marker at the directory root. The shard count
+// is fixed here at creation; reopening uses the recorded count
+// regardless of Config.Shards, because record placement depends on it.
+type manifest struct {
+	Format string `json:"format"`
+	Shards int    `json:"shards"`
+}
+
+func shardDirName(idx int) string { return fmt.Sprintf(shardDirFmt, idx) }
+
+// Open loads (or creates) a sharded store under dir: per-document
+// snapshots are read as raw bytes, segment journals are replayed on
+// top in sequence order, torn segment tails are truncated, and the
+// per-shard group-commit writers start accepting Puts. Mid-log damage
+// refuses to open with an error matching store.ErrCorrupt naming the
+// file and offset. A directory in the old per-document layout is
+// refused with ErrNeedsMigration.
+func Open(dir string, opts diff.Options, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	fsys := cfg.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vstore: open %s: %w", dir, err)
+	}
+	m, err := loadOrCreateManifest(fsys, dir, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shards = m.Shards
+	s := &Store{
+		opts:  opts,
+		cfg:   cfg,
+		dir:   dir,
+		fs:    fsys,
+		cache: newVersionCache(cfg.CacheSize),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			idx:        i,
+			dir:        filepath.Join(dir, shardDirName(i)),
+			docs:       make(map[string]*docState),
+			commitCh:   make(chan *commitReq, cfg.QueueDepth),
+			writerDone: make(chan struct{}),
+		}
+		if err := fsys.MkdirAll(sh.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("vstore: create %s: %w", sh.dir, err)
+		}
+		if err := s.recoverShard(sh); err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.recovery.Documents = 0
+	for _, sh := range s.shards {
+		s.recovery.Documents += len(sh.docs)
+	}
+	for _, sh := range s.shards {
+		sh.seg.onSeal = s.signalCompact
+		go s.committer(sh)
+	}
+	if cfg.Sync == store.SyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	if cfg.CompactSegments > 0 {
+		s.compactCh = make(chan struct{}, 1)
+		s.compactDone = make(chan struct{})
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// loadOrCreateManifest reads the engine marker, creating it for a
+// fresh (or empty) directory. A non-empty directory without a manifest
+// that looks like the per-document layout gets ErrNeedsMigration;
+// anything else unrecognized is refused as corrupt rather than
+// silently adopted.
+func loadOrCreateManifest(fsys faultfs.FS, dir string, shards int) (*manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	raw, err := fsys.ReadFile(path)
+	switch {
+	case err == nil:
+		var m manifest
+		if jerr := json.Unmarshal(raw, &m); jerr != nil {
+			return nil, corruptf(path, -1, jerr, "unparseable manifest")
+		}
+		if m.Format != manifestFormat || m.Shards < 1 {
+			return nil, corruptf(path, -1, nil, "unsupported manifest (format %q, %d shards)", m.Format, m.Shards)
+		}
+		return &m, nil
+	case os.IsNotExist(err):
+		entries, rerr := fsys.ReadDir(dir)
+		if rerr != nil {
+			return nil, fmt.Errorf("vstore: read %s: %w", dir, rerr)
+		}
+		if oldLayout(fsys, dir, entries) {
+			return nil, fmt.Errorf("%w (%s)", ErrNeedsMigration, dir)
+		}
+		for _, e := range entries {
+			// Tolerate leftover temp files (they start with ".") and
+			// shard directories from a crash before the manifest rename.
+			if n := e.Name(); !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "shard-") {
+				return nil, corruptf(path, -1, nil, "directory %s is non-empty (%s) but has no manifest", dir, n)
+			}
+		}
+		m := &manifest{Format: manifestFormat, Shards: shards}
+		blob, _ := json.MarshalIndent(m, "", "  ")
+		blob = append(blob, '\n')
+		write := func(w io.Writer) (int64, error) {
+			n, werr := w.Write(blob)
+			return int64(n), werr
+		}
+		if werr := writeAtomic(fsys, path, write); werr != nil {
+			return nil, fmt.Errorf("vstore: write manifest: %w", werr)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("vstore: read manifest: %w", err)
+	}
+}
+
+// oldLayout recognizes a per-document store directory: journal-*.log
+// files at the root, or document subdirectories carrying a "versions"
+// counter.
+func oldLayout(fsys faultfs.FS, dir string, entries []os.DirEntry) bool {
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "journal-") && strings.HasSuffix(e.Name(), ".log") {
+			return true
+		}
+		if e.IsDir() {
+			if _, err := fsys.Stat(filepath.Join(dir, e.Name(), "versions")); err == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recoverShard rebuilds one shard's documents: snapshots first (raw
+// bytes, no parsing — trees materialize lazily through the LRU), then
+// the segment journals replayed in sequence order on top.
+func (s *Store) recoverShard(sh *shard) error {
+	docsDir := filepath.Join(sh.dir, docsDirName)
+	if entries, err := s.fs.ReadDir(docsDir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			id := unescapeID(e.Name())
+			st, err := loadSnapshot(s.fs, filepath.Join(docsDir, e.Name()))
+			if err != nil {
+				return err
+			}
+			if st != nil {
+				sh.docs[id] = st
+				s.recovery.SnapshotVersions += st.versions
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("vstore: read %s: %w", docsDir, err)
+	}
+	entries, err := s.fs.ReadDir(sh.dir)
+	if err != nil {
+		return fmt.Errorf("vstore: read %s: %w", sh.dir, err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		if err := s.replaySegment(sh, filepath.Join(sh.dir, segName(seq))); err != nil {
+			return err
+		}
+	}
+	next := 1
+	if n := len(seqs); n > 0 {
+		next = seqs[n-1] + 1
+	}
+	sh.seg = newSegmentWriter(s.fs, sh.dir, next, s.cfg.SegmentBytes)
+	return nil
+}
+
+// loadSnapshot reads one document's snapshot directory as raw bytes.
+// A directory without a versions counter is not corrupt — it is a
+// snapshot whose final rename never happened (crash mid-compaction);
+// the segments still carry the document, so the half-snapshot is
+// ignored.
+func loadSnapshot(fsys faultfs.FS, sub string) (*docState, error) {
+	counterPath := filepath.Join(sub, "versions")
+	raw, err := fsys.ReadFile(counterPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, corruptf(counterPath, -1, err, "unreadable version counter")
+	}
+	versions, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+	if err != nil || versions < 1 {
+		return nil, corruptf(counterPath, -1, nil, "bad version counter %q", raw)
+	}
+	v1Path := filepath.Join(sub, "v1.xml")
+	base, err := fsys.ReadFile(v1Path)
+	if err != nil {
+		return nil, corruptf(v1Path, -1, err, "unreadable base version")
+	}
+	st := &docState{versions: versions, base: base, snapVersions: versions}
+	for v := 1; v < versions; v++ {
+		dPath := filepath.Join(sub, deltaFile(v))
+		dRaw, err := fsys.ReadFile(dPath)
+		if err != nil {
+			return nil, corruptf(dPath, -1, err, "unreadable delta %d", v)
+		}
+		st.deltas = append(st.deltas, dRaw)
+	}
+	return st, nil
+}
+
+// replaySegment folds one segment's records into the shard's document
+// states. Bodies stay serialized; only framing, checksums and version
+// sequencing are validated here, so reopening a million-document store
+// parses nothing. A partial record at the tail is truncated away
+// (TornTails); damage anywhere else refuses recovery with an error
+// matching store.ErrCorrupt naming the file and offset.
+func (s *Store) replaySegment(sh *shard, path string) error {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return corruptf(path, -1, err, "unreadable segment")
+	}
+	s.recovery.JournalBytes += int64(len(data))
+	off := int64(0)
+	for int(off) < len(data) {
+		rem := int64(len(data)) - off
+		if rem < segHeaderLen {
+			if err := s.truncateTorn(path, off); err != nil {
+				return err
+			}
+			break
+		}
+		length := int64(binary.BigEndian.Uint32(data[off : off+4]))
+		if length == 0 || length > maxRecordLen {
+			return corruptf(path, off, nil, "invalid record length %d", length)
+		}
+		if rem-segHeaderLen < length {
+			if err := s.truncateTorn(path, off); err != nil {
+				return err
+			}
+			break
+		}
+		wantCRC := binary.BigEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+segHeaderLen : off+segHeaderLen+length]
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return corruptf(path, off, nil, "checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
+		}
+		kind, id, version, body, err := decodePayload(payload)
+		if err != nil {
+			return corruptf(path, off, err, "undecodable record")
+		}
+		if err := s.applyRecord(sh, path, off, kind, id, version, body); err != nil {
+			return err
+		}
+		off += segHeaderLen + length
+	}
+	return nil
+}
+
+// truncateTorn cuts a segment back to the end of its last complete
+// record. The torn batch's Puts never returned success, so dropping it
+// loses nothing acknowledged.
+func (s *Store) truncateTorn(path string, off int64) error {
+	s.recovery.TornTails++
+	if err := s.fs.Truncate(path, off); err != nil {
+		return fmt.Errorf("vstore: truncate torn segment tail %s at %d: %w", path, off, err)
+	}
+	return nil
+}
+
+// applyRecord folds one verified segment record into its document's
+// state, skipping records a snapshot already covers. The record body
+// is copied, not retained: the segment buffer is large and transient.
+func (s *Store) applyRecord(sh *shard, path string, off int64, kind byte, id string, version int, body []byte) error {
+	st := sh.docs[id]
+	switch kind {
+	case recordBase:
+		if version != 1 {
+			return corruptf(path, off, nil, "base record for %q claims version %d", id, version)
+		}
+		if st != nil && st.versions >= 1 {
+			s.recovery.JournalSkipped++
+			return nil
+		}
+		if st == nil {
+			st = &docState{}
+			sh.docs[id] = st
+		}
+		st.base = append([]byte(nil), body...)
+		st.versions = 1
+		s.recovery.JournalRecords++
+		return nil
+	case recordDelta:
+		if st == nil || st.versions == 0 {
+			return corruptf(path, off, nil, "delta record for %q version %d but no base version", id, version)
+		}
+		if version <= st.versions {
+			s.recovery.JournalSkipped++
+			return nil
+		}
+		if version != st.versions+1 {
+			return corruptf(path, off, nil, "record for %q jumps to version %d after %d", id, version, st.versions)
+		}
+		st.deltas = append(st.deltas, append([]byte(nil), body...))
+		st.versions++
+		s.recovery.JournalRecords++
+		return nil
+	default:
+		return corruptf(path, off, nil, "unknown record kind %d", kind)
+	}
+}
+
+// corruptf builds a store.CorruptError for file at offset (use -1 for
+// whole-file failures), so callers test with errors.Is(err,
+// store.ErrCorrupt) regardless of engine.
+func corruptf(file string, offset int64, err error, format string, args ...any) *store.CorruptError {
+	return &store.CorruptError{File: file, Offset: offset, Reason: fmt.Sprintf(format, args...), Err: err}
+}
+
+// writeAtomic writes via a temporary file in path's directory, syncs,
+// and renames into place, so path is never observed half-written.
+func writeAtomic(fsys faultfs.FS, path string, write func(io.Writer) (int64, error)) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer fsys.Remove(tmp) // no-op once renamed
+	if _, err := write(f); err != nil {
+		_ = f.Close() // the write error is the one to report
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // the sync error is the one to report
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}
+
+func deltaFile(n int) string { return fmt.Sprintf("delta-%04d.xml", n) }

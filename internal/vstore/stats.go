@@ -1,0 +1,163 @@
+package vstore
+
+import (
+	"sync/atomic"
+
+	"xydiff/internal/store"
+)
+
+// engineCounters are the store-wide lock-free counters.
+type engineCounters struct {
+	cacheHits, cacheMisses atomic.Int64
+	checkpoints            atomic.Int64
+	compactions            atomic.Int64
+	compactNanos           atomic.Int64
+}
+
+// shardCounters are one shard's lock-free durability counters.
+type shardCounters struct {
+	appends       atomic.Int64 // records written
+	appendedBytes atomic.Int64 // record bytes, headers included
+	syncs         atomic.Int64 // fsyncs completed
+	batches       atomic.Int64 // group commits performed
+	batchRecords  atomic.Int64 // records across all group commits
+	maxBatch      atomic.Int64 // largest batch committed so far
+	rejected      atomic.Int64 // Puts shed with ErrBusy
+}
+
+// DurabilityStats aggregates every shard's counters into the same
+// shape the per-document engine reports, so the HTTP layer and CLI
+// work against either engine.
+func (s *Store) DurabilityStats() store.DurabilityStats {
+	var out store.DurabilityStats
+	for _, sh := range s.shards {
+		out.Appends += sh.stats.appends.Load()
+		out.AppendedBytes += sh.stats.appendedBytes.Load()
+		out.Syncs += sh.stats.syncs.Load()
+	}
+	out.Checkpoints = s.stats.checkpoints.Load()
+	return out
+}
+
+// RecoveryStats returns what the store reconstructed when it opened
+// (all zero for a freshly created directory).
+func (s *Store) RecoveryStats() store.RecoveryStats { return s.recovery }
+
+// ShardStats is one shard's slice of StorageStats.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Docs is how many documents hash into the shard.
+	Docs int
+	// Segments is how many segment files are on disk (sealed + active).
+	Segments int
+	// Appends, AppendedBytes and Syncs mirror DurabilityStats for this
+	// shard alone.
+	Appends       int64
+	AppendedBytes int64
+	Syncs         int64
+	// Batches is how many group commits the shard performed;
+	// BatchRecords how many records they carried in total; MaxBatch the
+	// largest single batch.
+	Batches      int64
+	BatchRecords int64
+	MaxBatch     int64
+	// Rejected is how many Puts were shed with ErrBusy.
+	Rejected int64
+}
+
+// StorageStats is the engine-level view the daemon surfaces in
+// /healthz and /metrics: group-commit effectiveness, version-cache hit
+// ratio and compaction activity, overall and per shard.
+type StorageStats struct {
+	// Shards is the shard count fixed in the manifest.
+	Shards int
+	// Documents is the total stored document count.
+	Documents int
+	// Segments is the total on-disk segment file count.
+	Segments int
+	// FsyncTotal is how many segment fsyncs group commit performed.
+	FsyncTotal int64
+	// Batches and BatchRecords describe group-commit effectiveness:
+	// BatchRecords/Batches is the mean records per fsync.
+	Batches      int64
+	BatchRecords int64
+	// MaxBatch is the largest batch any shard committed.
+	MaxBatch int64
+	// Rejected is how many Puts were shed with ErrBusy.
+	Rejected int64
+	// CacheHits/CacheMisses count materializations served from /
+	// missing the version LRU; CacheLen and CacheCap are its current
+	// and maximum residency.
+	CacheHits   int64
+	CacheMisses int64
+	CacheLen    int
+	CacheCap    int
+	// Compactions counts completed compaction passes (checkpoints
+	// included); CompactionSeconds is their cumulative duration.
+	Compactions       int64
+	CompactionSeconds float64
+	// PerShard has one entry per shard, in shard order.
+	PerShard []ShardStats
+}
+
+// MeanBatch returns the mean records per group commit (0 when none
+// committed yet).
+func (st StorageStats) MeanBatch() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BatchRecords) / float64(st.Batches)
+}
+
+// CacheHitRatio returns the version-cache hit ratio in [0,1] (0 when
+// the cache is untouched).
+func (st StorageStats) CacheHitRatio() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// StorageStats snapshots the engine counters. Segment counts come from
+// a directory listing, so the call does a little I/O per shard.
+func (s *Store) StorageStats() StorageStats {
+	out := StorageStats{
+		Shards:            len(s.shards),
+		CacheHits:         s.stats.cacheHits.Load(),
+		CacheMisses:       s.stats.cacheMisses.Load(),
+		CacheLen:          s.cache.len(),
+		CacheCap:          s.cfg.CacheSize,
+		Compactions:       s.stats.compactions.Load(),
+		CompactionSeconds: float64(s.stats.compactNanos.Load()) / 1e9,
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		docs := len(sh.docs)
+		sh.mu.RUnlock()
+		ss := ShardStats{
+			Shard:         sh.idx,
+			Docs:          docs,
+			Segments:      len(sh.segmentsOnDisk(s.fs)),
+			Appends:       sh.stats.appends.Load(),
+			AppendedBytes: sh.stats.appendedBytes.Load(),
+			Syncs:         sh.stats.syncs.Load(),
+			Batches:       sh.stats.batches.Load(),
+			BatchRecords:  sh.stats.batchRecords.Load(),
+			MaxBatch:      sh.stats.maxBatch.Load(),
+			Rejected:      sh.stats.rejected.Load(),
+		}
+		out.Documents += ss.Docs
+		out.Segments += ss.Segments
+		out.FsyncTotal += ss.Syncs
+		out.Batches += ss.Batches
+		out.BatchRecords += ss.BatchRecords
+		out.Rejected += ss.Rejected
+		if ss.MaxBatch > out.MaxBatch {
+			out.MaxBatch = ss.MaxBatch
+		}
+		out.PerShard = append(out.PerShard, ss)
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package vstore
+
+import (
+	"fmt"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/store"
+	"xydiff/internal/xpathlite"
+)
+
+// "Querying the past" over the sharded engine: the same API as the
+// per-document store, with deltas parsed on demand from their stored
+// bytes. Result types (store.VersionValue, store.NodeState,
+// store.ChangeHit) are shared so callers are engine-agnostic.
+
+// Query evaluates a path expression against version n of the document.
+func (s *Store) Query(id string, version int, expr *xpathlite.Expr) ([]*dom.Node, error) {
+	doc, err := s.Version(id, version)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Select(doc), nil
+}
+
+// ValueAt returns the text content of the first node matching expr in
+// version n ("" when nothing matches).
+func (s *Store) ValueAt(id string, version int, expr *xpathlite.Expr) (string, error) {
+	doc, err := s.Version(id, version)
+	if err != nil {
+		return "", err
+	}
+	return expr.Value(doc), nil
+}
+
+// Timeline evaluates the expression at every version, oldest first.
+// Versions are reconstructed incrementally (one delta apply per step),
+// not from scratch per version.
+func (s *Store) Timeline(id string, expr *xpathlite.Expr) ([]store.VersionValue, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.RUnlock()
+	latest, err := s.materializeLocked(id, st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.VersionValue, st.versions)
+	doc := latest.Clone()
+	for v := st.versions; v >= 1; v-- {
+		first := expr.SelectFirst(doc)
+		out[v-1] = store.VersionValue{Version: v, Found: first != nil}
+		if first != nil {
+			out[v-1].Value = first.TextContent()
+		}
+		if v > 1 {
+			d, err := st.parseDelta(v - 2)
+			if err != nil {
+				return nil, fmt.Errorf("vstore: timeline %s at version %d: %w", id, v-1, err)
+			}
+			if err := applyInverse(doc, d); err != nil {
+				return nil, fmt.Errorf("vstore: timeline %s at version %d: %w", id, v-1, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// NodeHistory tracks a node across every version by its persistent
+// identifier: present or not, where it lives, and what it contains.
+func (s *Store) NodeHistory(id string, xid int64) ([]store.NodeState, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.RUnlock()
+	latest, err := s.materializeLocked(id, st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.NodeState, st.versions)
+	doc := latest.Clone()
+	for v := st.versions; v >= 1; v-- {
+		ns := store.NodeState{Version: v}
+		if n := dom.FindByXID(doc, xid); n != nil {
+			ns.Present = true
+			ns.Path = n.Path()
+			ns.Value = n.TextContent()
+		}
+		out[v-1] = ns
+		if v > 1 {
+			d, err := st.parseDelta(v - 2)
+			if err != nil {
+				return nil, fmt.Errorf("vstore: history %s at version %d: %w", id, v-1, err)
+			}
+			if err := applyInverse(doc, d); err != nil {
+				return nil, fmt.Errorf("vstore: history %s at version %d: %w", id, v-1, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChangesMatching scans the deltas between versions from and to
+// (forward, from < to) and returns the operations whose affected node
+// matches the pattern. An empty kinds list selects every operation
+// kind.
+func (s *Store) ChangesMatching(id string, from, to int, pattern *xpathlite.Expr, kinds ...delta.Kind) ([]store.ChangeHit, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.RUnlock()
+	if from < 1 || to > st.versions || from >= to {
+		return nil, fmt.Errorf("vstore: bad version range %d..%d (have 1..%d): %w", from, to, st.versions, store.ErrNoSuchVersion)
+	}
+	kindOK := func(k delta.Kind) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, want := range kinds {
+			if want == k {
+				return true
+			}
+		}
+		return false
+	}
+	latest, err := s.materializeLocked(id, st)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct version `from` backward from latest, then replay
+	// forward, inspecting each delta against the version before and
+	// after it.
+	doc := latest.Clone()
+	for v := st.versions; v > from; v-- {
+		d, err := st.parseDelta(v - 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := applyInverse(doc, d); err != nil {
+			return nil, fmt.Errorf("vstore: reconstruct %s version %d: %w", id, from, err)
+		}
+	}
+	var hits []store.ChangeHit
+	for v := from; v < to; v++ {
+		d, err := st.parseDelta(v - 1)
+		if err != nil {
+			return nil, err
+		}
+		oldIdx := indexXIDs(doc)
+		next := doc.Clone()
+		if err := delta.Apply(next, d); err != nil {
+			return nil, fmt.Errorf("vstore: replay %s delta %d: %w", id, v, err)
+		}
+		newIdx := indexXIDs(next)
+		for _, op := range d.Ops {
+			if !kindOK(op.Kind()) {
+				continue
+			}
+			node := newIdx[op.TargetXID()]
+			if node == nil || op.Kind() == delta.KindDelete {
+				node = oldIdx[op.TargetXID()]
+			}
+			if node == nil || !matchesWithTextParent(pattern, node) {
+				continue
+			}
+			path := node.Path()
+			if node.Type == dom.Text && node.Parent != nil {
+				path = node.Parent.Path()
+			}
+			hits = append(hits, store.ChangeHit{Version: v + 1, Op: op, Path: path})
+		}
+		doc = next
+	}
+	return hits, nil
+}
+
+// matchesWithTextParent applies the pattern to the node, falling back
+// to the parent element for text nodes.
+func matchesWithTextParent(pattern *xpathlite.Expr, n *dom.Node) bool {
+	if pattern.Matches(n) {
+		return true
+	}
+	return n.Type == dom.Text && n.Parent != nil && pattern.Matches(n.Parent)
+}
+
+func indexXIDs(doc *dom.Node) map[int64]*dom.Node {
+	idx := make(map[int64]*dom.Node)
+	dom.WalkPre(doc, func(n *dom.Node) bool {
+		if n.XID != 0 {
+			idx[n.XID] = n
+		}
+		return true
+	})
+	return idx
+}
+
+// Aggregate returns one delta with the combined effect of the chain
+// from version from to version to. from > to yields the inverted
+// aggregate.
+func (s *Store) Aggregate(id string, from, to int) (*delta.Delta, error) {
+	if from == to {
+		return &delta.Delta{}, nil
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	base, err := s.Version(id, lo)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := s.DeltasBetween(id, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	d, err := diff.Compose(base, chain...)
+	if err != nil {
+		return nil, err
+	}
+	if from > to {
+		if d, err = d.Invert(); err != nil {
+			return nil, fmt.Errorf("vstore: aggregate %s %d..%d: %w", id, from, to, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,549 @@
+// Package vstore is the sharded, group-committed storage engine that
+// scales the change-centric repository of package store to millions of
+// documents. It keeps the same contract — each document is its chain of
+// completed deltas, every acknowledged version survives a crash, any
+// past version reconstructs byte-identically — but changes the shape of
+// the durability layer:
+//
+//   - Documents are hashed across N shards. Each shard owns ONE
+//     append-only segment journal shared by every document in the
+//     shard, instead of one journal file per document. At crawl scale
+//     this turns millions of tiny files into a few dozen.
+//   - Each shard runs a group-commit writer: concurrent Puts are
+//     batched into a single write + fsync, and every Put in the batch
+//     is acknowledged when the batch is durable. Under store.SyncAlways
+//     the durability guarantee is unchanged — no Put is acknowledged
+//     before its record is on stable storage — but the fsync cost is
+//     amortized over the whole batch.
+//   - Background compaction folds sealed segments into per-document
+//     snapshots and retires them, in strict write → fsync → rename →
+//     retire order (the xyvet segorder analyzer enforces the ordering
+//     in this package's source).
+//   - Materialized current versions live in a bounded LRU; documents
+//     outside it keep only their serialized base + delta chain in
+//     memory and are re-materialized on demand, so reconstruction cost
+//     is paid once per cache residency, not once per read.
+//
+// The on-disk layout under dir/:
+//
+//	MANIFEST.json                    engine marker: format + shard count
+//	shard-000/seg-00000001.log       segment journal (many documents)
+//	shard-000/docs/<escaped id>/     per-document snapshot
+//	    v1.xml delta-0001.xml ... versions
+//
+// A directory in the old per-document layout (package store) is
+// refused with ErrNeedsMigration; `xystore migrate` converts it in
+// place with a backup.
+package vstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/faultfs"
+	"xydiff/internal/store"
+	"xydiff/internal/xid"
+)
+
+// Config tunes the engine. The zero value picks production defaults
+// (16 shards, SyncAlways, batches of up to 128 records gathered for at
+// most 2ms, a 4096-document version cache, 64 MiB segments).
+type Config struct {
+	// Shards is the number of hash-of-id shards. The value is fixed at
+	// directory creation and recorded in the manifest; reopening uses
+	// the recorded count regardless of this field (default 16).
+	Shards int
+	// Sync is the segment fsync policy, with exactly the semantics of
+	// the per-document journal: SyncAlways means no Put is acknowledged
+	// before its batch is durable.
+	Sync store.SyncPolicy
+	// SyncInterval is the flush period under store.SyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+	// MaxBatch caps how many records one fsync may acknowledge
+	// (default 128).
+	MaxBatch int
+	// MaxDelay bounds how long the group-commit writer waits to fill a
+	// batch once at least one record is pending and more writers are in
+	// flight (default 2ms). A lone writer is never delayed.
+	MaxDelay time.Duration
+	// QueueDepth bounds records waiting for the group-commit writer,
+	// per shard; submissions beyond it fail fast with ErrBusy so the
+	// caller can shed load instead of blocking (default 1024).
+	QueueDepth int
+	// CacheSize bounds the LRU of materialized current versions
+	// (default 4096 documents).
+	CacheSize int
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 64 MiB).
+	SegmentBytes int64
+	// CompactSegments triggers background compaction of a shard once it
+	// has this many sealed segments; 0 picks the default 8, negative
+	// disables background compaction (Checkpoint still works).
+	CompactSegments int
+	// FS overrides the filesystem (fault-injection tests); nil means
+	// the real one.
+	FS faultfs.FS
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 100 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	if c.CompactSegments == 0 {
+		c.CompactSegments = 8
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS{}
+	}
+	return c
+}
+
+// Store is the sharded engine. All methods are safe for concurrent
+// use; writes to different documents group-commit together, writes to
+// the same document serialize on its state lock.
+type Store struct {
+	opts diff.Options
+	cfg  Config
+	obs  store.Observer
+	dir  string
+	fs   faultfs.FS
+
+	shards []*shard
+	cache  *versionCache
+
+	mu     sync.Mutex // guards closed and the lifecycle channels
+	closed bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	compactCh   chan struct{}
+	compactDone chan struct{}
+
+	stats    engineCounters
+	recovery store.RecoveryStats
+}
+
+// docState is one document's resident state: the version count plus
+// the serialized base version and delta chain. Trees are NOT held
+// here — the materialized latest lives in the store's LRU and is
+// rebuilt from these bytes on a miss.
+type docState struct {
+	mu       sync.RWMutex
+	versions int
+	base     []byte   // serialized version 1
+	deltas   [][]byte // deltas[i] transforms version i+1 into i+2
+	// snapVersions is how many versions the on-disk snapshot covers
+	// (0 when the document has never been compacted).
+	snapVersions int
+}
+
+// shard owns one slice of the document space: its documents, its
+// segment journal and its group-commit writer.
+type shard struct {
+	idx int
+	dir string
+
+	mu   sync.RWMutex // guards docs map only, never document contents
+	docs map[string]*docState
+
+	seg *segmentWriter
+
+	sendMu     sync.RWMutex // guards sendClosed vs concurrent submits
+	sendClosed bool
+	commitCh   chan *commitReq
+	writerDone chan struct{}
+
+	compactMu sync.Mutex // serializes Checkpoint with background compaction
+
+	stats shardCounters
+	// inflight counts Puts between submission intent and
+	// acknowledgement; the group-commit writer lingers for a batch only
+	// while more are in flight than it has gathered.
+	inflight atomic.Int64
+}
+
+// shardFor hashes a document id onto its shard.
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id)) // fnv's Write cannot fail
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// SetObserver installs the hook called after every versioning diff. It
+// must be set before the store starts serving concurrent Puts.
+func (s *Store) SetObserver(obs store.Observer) { s.obs = obs }
+
+// state returns (creating if needed) the document's state.
+func (sh *shard) state(id string) *docState {
+	sh.mu.RLock()
+	st := sh.docs[id]
+	sh.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st = sh.docs[id]; st == nil {
+		st = &docState{}
+		sh.docs[id] = st
+	}
+	return st
+}
+
+// lookup returns the document's state, or nil when unknown.
+func (sh *shard) lookup(id string) *docState {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.docs[id]
+}
+
+// Put installs a new version of the document identified by id and
+// returns its version number (1-based) and the delta from the previous
+// version (nil for the first). The store keeps its own copy of doc.
+func (s *Store) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
+	return s.PutContext(context.Background(), id, doc)
+}
+
+// PutContext is Put honouring context cancellation: the diff against
+// the previous version aborts with ctx.Err() once ctx is done, leaving
+// the stored history untouched.
+//
+// The version's record reaches the shard's segment journal — and,
+// under SyncAlways, stable storage — before PutContext returns: a nil
+// error means the version survives a crash. When the shard's
+// group-commit queue is saturated the Put fails fast with ErrBusy
+// instead of blocking, so callers can shed load.
+func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error) {
+	if doc == nil || doc.Type != dom.Document {
+		return 0, nil, fmt.Errorf("vstore: need a Document node")
+	}
+	sh := s.shardFor(id)
+	st := sh.state(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.versions == 0 {
+		first := doc.Clone()
+		xid.Assign(first)
+		body, err := serializeTree(first)
+		if err != nil {
+			return 0, nil, fmt.Errorf("vstore: serialize %s version 1: %w", id, err)
+		}
+		if err := s.appendDurable(sh, encodeRecord(recordBase, id, 1, body)); err != nil {
+			return 0, nil, err
+		}
+		st.base = body
+		st.versions = 1
+		s.cache.put(id, first, 1)
+		return 1, nil, nil
+	}
+	old, err := s.materializeLocked(id, st)
+	if err != nil {
+		return 0, nil, err
+	}
+	next := doc.Clone()
+	r, err := diff.DiffDetailedContext(ctx, old, next, s.opts)
+	if err != nil {
+		return 0, nil, fmt.Errorf("vstore: diff %s: %w", id, err)
+	}
+	body, err := serializeDelta(r.Delta)
+	if err != nil {
+		return 0, nil, fmt.Errorf("vstore: serialize %s delta %d: %w", id, st.versions, err)
+	}
+	if err := s.appendDurable(sh, encodeRecord(recordDelta, id, st.versions+1, body)); err != nil {
+		return 0, nil, err
+	}
+	st.deltas = append(st.deltas, body)
+	st.versions++
+	s.cache.put(id, next, st.versions)
+	if s.obs != nil {
+		s.obs(id, st.versions, old, next, r)
+	}
+	return st.versions, r.Delta, nil
+}
+
+// materializeLocked returns the document's latest version as a tree
+// with replay-canonical XIDs, from the LRU when resident and by
+// replaying base + deltas otherwise. The caller holds st.mu (read or
+// write); the returned tree is the cache's copy — callers that hand it
+// out must Clone.
+func (s *Store) materializeLocked(id string, st *docState) (*dom.Node, error) {
+	if doc := s.cache.get(id, st.versions); doc != nil {
+		s.stats.cacheHits.Add(1)
+		return doc, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	doc, err := dom.ParseWithOptions(bytes.NewReader(st.base), snapshotLoadOptions())
+	if err != nil {
+		return nil, fmt.Errorf("vstore: materialize %s base: %w", id, err)
+	}
+	xid.Assign(doc)
+	for i, raw := range st.deltas {
+		d, err := delta.Parse(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("vstore: materialize %s delta %d: %w", id, i+1, err)
+		}
+		if err := delta.Apply(doc, d); err != nil {
+			return nil, fmt.Errorf("vstore: materialize %s: delta %d does not apply: %w", id, i+1, err)
+		}
+	}
+	s.cache.put(id, doc, st.versions)
+	return doc, nil
+}
+
+// reading returns id's state read-locked, or an error when the
+// document is unknown (a state published by a first Put still in
+// flight counts as unknown). The caller must RUnlock it.
+func (s *Store) reading(id string) (*docState, error) {
+	st := s.shardFor(id).lookup(id)
+	if st == nil {
+		return nil, fmt.Errorf("vstore: %w %q", store.ErrUnknownDocument, id)
+	}
+	st.mu.RLock()
+	if st.versions == 0 {
+		st.mu.RUnlock()
+		return nil, fmt.Errorf("vstore: %w %q", store.ErrUnknownDocument, id)
+	}
+	//xyvet:allow lockbalance -- deliberate handoff: the caller receives st read-locked and must RUnlock it
+	return st, nil
+}
+
+// Latest returns a copy of the current version and its version number.
+func (s *Store) Latest(id string) (*dom.Node, int, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer st.mu.RUnlock()
+	doc, err := s.materializeLocked(id, st)
+	if err != nil {
+		return nil, 0, err
+	}
+	return doc.Clone(), st.versions, nil
+}
+
+// Versions returns how many versions of id are recorded (0 if none).
+func (s *Store) Versions(id string) int {
+	st := s.shardFor(id).lookup(id)
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.versions
+}
+
+// IDs lists the stored document identifiers, sorted. Documents whose
+// first Put is still in flight are omitted.
+func (s *Store) IDs() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		states := make(map[string]*docState, len(sh.docs))
+		for id, st := range sh.docs {
+			states[id] = st
+		}
+		sh.mu.RUnlock()
+		for id, st := range states {
+			st.mu.RLock()
+			ok := st.versions > 0
+			st.mu.RUnlock()
+			if ok {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version reconstructs version n (1-based) of the document by applying
+// inverted deltas backward from the materialized latest version.
+func (s *Store) Version(id string, n int) (*dom.Node, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.RUnlock()
+	if n < 1 || n > st.versions {
+		return nil, fmt.Errorf("vstore: %s has versions 1..%d, not %d: %w", id, st.versions, n, store.ErrNoSuchVersion)
+	}
+	latest, err := s.materializeLocked(id, st)
+	if err != nil {
+		return nil, err
+	}
+	doc := latest.Clone()
+	for v := st.versions; v > n; v-- {
+		d, err := st.parseDelta(v - 2)
+		if err != nil {
+			return nil, fmt.Errorf("vstore: reconstruct %s version %d: %w", id, n, err)
+		}
+		if err := applyInverse(doc, d); err != nil {
+			return nil, fmt.Errorf("vstore: reconstruct %s version %d: %w", id, n, err)
+		}
+	}
+	return doc, nil
+}
+
+// Delta returns the stored delta that transforms version n into n+1.
+func (s *Store) Delta(id string, n int) (*delta.Delta, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.RUnlock()
+	if n < 1 || n >= st.versions {
+		return nil, fmt.Errorf("vstore: %s has deltas 1..%d, not %d: %w", id, st.versions-1, n, store.ErrNoSuchVersion)
+	}
+	return st.parseDelta(n - 1)
+}
+
+// DeltasBetween returns the delta sequence transforming version from
+// into version to. When from > to, the deltas are inverted and
+// returned in reverse order, so applying them in order still works.
+func (s *Store) DeltasBetween(id string, from, to int) ([]*delta.Delta, error) {
+	st, err := s.reading(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.RUnlock()
+	if from < 1 || from > st.versions || to < 1 || to > st.versions {
+		return nil, fmt.Errorf("vstore: version range %d..%d outside 1..%d: %w", from, to, st.versions, store.ErrNoSuchVersion)
+	}
+	var out []*delta.Delta
+	switch {
+	case from < to:
+		for v := from; v < to; v++ {
+			d, err := st.parseDelta(v - 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+		}
+	case from > to:
+		for v := from; v > to; v-- {
+			d, err := st.parseDelta(v - 2)
+			if err != nil {
+				return nil, err
+			}
+			inv, err := d.Invert()
+			if err != nil {
+				return nil, fmt.Errorf("vstore: invert %s delta %d: %w", id, v-1, err)
+			}
+			out = append(out, inv)
+		}
+	}
+	return out, nil
+}
+
+// parseDelta decodes the i-th stored delta (0-based); the caller holds
+// the state lock.
+func (st *docState) parseDelta(i int) (*delta.Delta, error) {
+	d, err := delta.Parse(bytes.NewReader(st.deltas[i]))
+	if err != nil {
+		return nil, fmt.Errorf("vstore: parse stored delta %d: %w", i+1, err)
+	}
+	return d, nil
+}
+
+// applyInverse applies the inverse of d to doc.
+func applyInverse(doc *dom.Node, d *delta.Delta) error {
+	inv, err := d.Invert()
+	if err != nil {
+		return err
+	}
+	return delta.Apply(doc, inv)
+}
+
+// Close stops the background loops and the per-shard group-commit
+// writers: queued records are flushed and fsynced, segment files
+// closed. The store stays readable; writes after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.stopSync != nil {
+		close(s.stopSync)
+		<-s.syncDone
+	}
+	if s.compactCh != nil {
+		close(s.compactCh)
+		<-s.compactDone
+	}
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.sendMu.Lock()
+		if !sh.sendClosed {
+			sh.sendClosed = true
+			close(sh.commitCh)
+		}
+		sh.sendMu.Unlock()
+	}
+	for _, sh := range s.shards {
+		<-sh.writerDone
+		if err := sh.seg.close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("vstore: close shard %d segment: %w", sh.idx, err)
+		}
+	}
+	return firstErr
+}
+
+// SyncPolicy returns the segment fsync policy.
+func (s *Store) SyncPolicy() store.SyncPolicy { return s.cfg.Sync }
+
+// serializeTree renders a document for a record body or snapshot file.
+func serializeTree(doc *dom.Node) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := doc.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// serializeDelta renders a delta for a record body or snapshot file.
+func serializeDelta(d *delta.Delta) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// snapshotLoadOptions parse persisted XML with full fidelity, exactly
+// as the per-document engine does: whitespace-only text in a record is
+// genuine content and must survive the round-trip for XIDs to line up.
+func snapshotLoadOptions() dom.ParseOptions {
+	return dom.ParseOptions{KeepWhitespace: true, KeepComments: true, KeepProcInsts: true}
+}

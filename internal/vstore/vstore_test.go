@@ -1,0 +1,418 @@
+package vstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xydiff/internal/delta"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/store"
+	"xydiff/internal/xpathlite"
+)
+
+func parse(t *testing.T, s string) *dom.Node {
+	t.Helper()
+	d, err := dom.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// openTest opens a store under a fresh temp dir with small, fast
+// defaults for unit tests.
+func openTest(t *testing.T, cfg Config) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, diff.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+func TestPutAndLatest(t *testing.T) {
+	s, _ := openTest(t, Config{Shards: 4})
+	v, d, err := s.Put("doc", parse(t, `<a><b>1</b></a>`))
+	if err != nil || v != 1 || d != nil {
+		t.Fatalf("first Put = %d,%v,%v", v, d, err)
+	}
+	v, d, err = s.Put("doc", parse(t, `<a><b>2</b></a>`))
+	if err != nil || v != 2 {
+		t.Fatalf("second Put = %d,%v", v, err)
+	}
+	if d == nil || d.Count().Updates != 1 {
+		t.Fatalf("second delta = %v", d)
+	}
+	latest, n, err := s.Latest("doc")
+	if err != nil || n != 2 {
+		t.Fatalf("Latest = %d,%v", n, err)
+	}
+	if latest.Root().Children[0].Children[0].Value != "2" {
+		t.Fatal("Latest content wrong")
+	}
+	if s.Versions("doc") != 2 || s.Versions("nope") != 0 {
+		t.Fatal("Versions wrong")
+	}
+	if ids := s.IDs(); len(ids) != 1 || ids[0] != "doc" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if _, _, err := s.Latest("nope"); !errors.Is(err, store.ErrUnknownDocument) {
+		t.Fatalf("Latest(nope) = %v, want ErrUnknownDocument", err)
+	}
+	if _, err := s.Version("doc", 9); !errors.Is(err, store.ErrNoSuchVersion) {
+		t.Fatalf("Version(doc,9) = %v, want ErrNoSuchVersion", err)
+	}
+}
+
+func TestVersionsReconstructAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, diff.Options{}, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		`<log><e>one</e></log>`,
+		`<log><e>one</e><e>two</e></log>`,
+		`<log><e>two</e><e>three</e></log>`,
+		`<log><e>three</e></log>`,
+	}
+	// Several documents spread across shards, same version chain.
+	ids := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, id := range ids {
+		for _, x := range texts {
+			if _, _, err := s.Put(id, parse(t, x)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(s *Store, label string) {
+		t.Helper()
+		for _, id := range ids {
+			if got := s.Versions(id); got != len(texts) {
+				t.Fatalf("%s: %s has %d versions, want %d", label, id, got, len(texts))
+			}
+			for v, want := range texts {
+				doc, err := s.Version(id, v+1)
+				if err != nil {
+					t.Fatalf("%s: %s v%d: %v", label, id, v+1, err)
+				}
+				if doc.String() != want {
+					t.Fatalf("%s: %s v%d = %s, want %s", label, id, v+1, doc.String(), want)
+				}
+			}
+		}
+	}
+	check(s, "live")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, diff.Options{}, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	check(s2, "reopened")
+	rec := s2.RecoveryStats()
+	if rec.Documents != len(ids) || rec.JournalRecords != len(ids)*len(texts) {
+		t.Fatalf("recovery stats = %+v, want %d documents, %d journal records", rec, len(ids), len(ids)*len(texts))
+	}
+}
+
+func TestManifestPinsShardCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, diff.Options{}, Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("doc", parse(t, `<a/>`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Reopen asking for a different count: the manifest wins.
+	s2, err := Open(dir, diff.Options{}, Config{Shards: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(s2.shards); got != 3 {
+		t.Fatalf("reopened with %d shards, manifest says 3", got)
+	}
+	if s2.Versions("doc") != 1 {
+		t.Fatal("document lost across reopen")
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	s, _ := openTest(t, Config{Shards: 2, Sync: store.SyncAlways, MaxDelay: 5 * time.Millisecond})
+	const writers = 64
+	const putsEach = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("doc-%02d", w)
+			for v := 1; v <= putsEach; v++ {
+				doc, err := dom.ParseString(fmt.Sprintf(`<r><w>%d</w><v>%d</v></r>`, w, v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := s.Put(id, doc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ds := s.DurabilityStats()
+	if ds.Appends != writers*putsEach {
+		t.Fatalf("appends = %d, want %d", ds.Appends, writers*putsEach)
+	}
+	if ds.Syncs >= ds.Appends {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", ds.Syncs, ds.Appends)
+	}
+	ss := s.StorageStats()
+	if ss.MaxBatch < 2 {
+		t.Fatalf("no batch ever held more than one record (max %d)", ss.MaxBatch)
+	}
+	if ss.MeanBatch() <= 1 {
+		t.Fatalf("mean batch = %f, want > 1", ss.MeanBatch())
+	}
+	// Everything acked must be readable.
+	for w := 0; w < writers; w++ {
+		if got := s.Versions(fmt.Sprintf("doc-%02d", w)); got != putsEach {
+			t.Fatalf("doc-%02d has %d versions, want %d", w, got, putsEach)
+		}
+	}
+}
+
+func TestQueueSaturationFailsFast(t *testing.T) {
+	// White box: a shard with a full queue and no committer draining it
+	// must shed the next submission with ErrBusy, not block.
+	s := &Store{cfg: Config{QueueDepth: 1}.withDefaults()}
+	s.cfg.QueueDepth = 1
+	sh := &shard{idx: 0, commitCh: make(chan *commitReq, 1)}
+	sh.commitCh <- &commitReq{} // fill the queue
+	done := make(chan error, 1)
+	go func() { done <- s.appendDurable(sh, []byte("rec")) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("err = %v, want ErrBusy", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("appendDurable blocked on a saturated queue")
+	}
+	if got := sh.stats.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+func TestCheckpointFoldsSegmentsIntoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, diff.Options{}, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		for v := 1; v <= 3; v++ {
+			if _, _, err := s.Put(id, parse(t, fmt.Sprintf(`<r><v>%d</v></r>`, v))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StorageStats().Segments; got != 0 {
+		t.Fatalf("%d segments remain after Checkpoint, want 0", got)
+	}
+	// Puts after the checkpoint land in fresh segments.
+	if _, _, err := s.Put("doc-0", parse(t, `<r><v>4</v></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, diff.Options{}, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.RecoveryStats()
+	if rec.SnapshotVersions != 18 || rec.JournalRecords != 1 {
+		t.Fatalf("recovery stats = %+v, want 18 snapshot versions + 1 journal record", rec)
+	}
+	doc, err := s2.Version("doc-0", 4)
+	if err != nil || doc.String() != `<r><v>4</v></r>` {
+		t.Fatalf("doc-0 v4 after reopen = %v, %v", doc, err)
+	}
+	if doc, err := s2.Version("doc-0", 2); err != nil || doc.String() != `<r><v>2</v></r>` {
+		t.Fatalf("doc-0 v2 after reopen = %v, %v", doc, err)
+	}
+}
+
+func TestBackgroundCompaction(t *testing.T) {
+	// Tiny segments force rotations; CompactSegments=2 makes the
+	// background compactor fold them soon after.
+	s, _ := openTest(t, Config{Shards: 1, SegmentBytes: 256, CompactSegments: 2})
+	big := `<r><pad>` + strings.Repeat("x", 100) + `</pad><v>%d</v></r>`
+	for v := 1; v <= 12; v++ {
+		if _, _, err := s.Put("doc", parse(t, fmt.Sprintf(big, v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.stats.compactions.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background compaction never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The store stays correct regardless of when compaction landed.
+	for v := 1; v <= 12; v++ {
+		doc, err := s.Version("doc", v)
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		if want := fmt.Sprintf(big, v); doc.String() != want {
+			t.Fatalf("v%d reconstructed wrong", v)
+		}
+	}
+	ss := s.StorageStats()
+	if ss.CompactionSeconds <= 0 {
+		t.Fatalf("compaction seconds = %f, want > 0", ss.CompactionSeconds)
+	}
+}
+
+func TestVersionCacheHitsAndEviction(t *testing.T) {
+	s, _ := openTest(t, Config{Shards: 1, CacheSize: 2})
+	ids := []string{"a", "b", "c"}
+	for _, id := range ids {
+		for v := 1; v <= 3; v++ {
+			if _, _, err := s.Put(id, parse(t, fmt.Sprintf(`<r><v>%d</v></r>`, v))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d trees, want 2 (capacity)", got)
+	}
+	// Reading every document cycles through the cache; evicted entries
+	// re-materialize from bytes and stay correct.
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			doc, _, err := s.Latest(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if doc.String() != `<r><v>3</v></r>` {
+				t.Fatalf("%s latest = %s", id, doc.String())
+			}
+		}
+	}
+	ss := s.StorageStats()
+	if ss.CacheMisses == 0 {
+		t.Fatal("capacity-2 cache over 3 documents never missed")
+	}
+	if ss.CacheHits == 0 {
+		t.Fatal("cache never hit")
+	}
+}
+
+func TestOldLayoutRefusedWithMigrationHint(t *testing.T) {
+	dir := t.TempDir()
+	old, err := store.Open(dir, diff.Options{}, store.Durability{Sync: store.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := old.Put("doc", parse(t, `<a/>`)); err != nil {
+		t.Fatal(err)
+	}
+	old.Close()
+	if _, err := Open(dir, diff.Options{}, Config{}); !errors.Is(err, ErrNeedsMigration) {
+		t.Fatalf("Open(old layout) = %v, want ErrNeedsMigration", err)
+	}
+}
+
+func TestTemporalQueries(t *testing.T) {
+	s, _ := openTest(t, Config{Shards: 2})
+	texts := []string{
+		`<log><e>one</e></log>`,
+		`<log><e>one</e><e>two</e></log>`,
+		`<log><e>three</e></log>`,
+	}
+	for _, x := range texts {
+		if _, _, err := s.Put("log", parse(t, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expr := xpathlite.MustCompile("/log/e")
+	tl, err := s.Timeline("log", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 3 || tl[0].Value != "one" || tl[2].Value != "three" {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	hits, err := s.ChangesMatching("log", 1, 3, expr, delta.KindInsert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no insert hits across versions 1..3")
+	}
+	agg, err := s.Aggregate("log", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.Version("log", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := delta.Apply(v1, agg); err != nil {
+		t.Fatal(err)
+	}
+	if v1.String() != texts[2] {
+		t.Fatalf("aggregate(1,3) applied to v1 = %s, want %s", v1.String(), texts[2])
+	}
+}
+
+func TestObserverSeesEveryVersion(t *testing.T) {
+	s, _ := openTest(t, Config{Shards: 2})
+	type obsCall struct {
+		id      string
+		version int
+	}
+	var mu sync.Mutex
+	var calls []obsCall
+	s.SetObserver(func(id string, version int, oldDoc, newDoc *dom.Node, r *diff.Result) {
+		mu.Lock()
+		calls = append(calls, obsCall{id, version})
+		mu.Unlock()
+	})
+	for v := 1; v <= 3; v++ {
+		if _, _, err := s.Put("doc", parse(t, fmt.Sprintf(`<r><v>%d</v></r>`, v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The observer fires for versioning diffs only (not the first Put).
+	if len(calls) != 2 || calls[0] != (obsCall{"doc", 2}) || calls[1] != (obsCall{"doc", 3}) {
+		t.Fatalf("observer calls = %+v", calls)
+	}
+}

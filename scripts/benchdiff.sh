@@ -1,28 +1,36 @@
 #!/bin/sh
 # scripts/benchdiff.sh — the benchmark-regression gate.
 #
-# Runs the bench5 experiment and compares the fresh report against the
-# committed baseline (BENCH_5.json). The tolerances live in
-# internal/bench (Bench5Report.Compare) and are deliberately coarse —
-# 3x on time, 1.5x on allocation rates, +0.15 on delta-quality ratios,
-# byte-identical deltas across worker counts — so the gate catches
-# gross regressions on any hardware without flaking on load noise.
+# Runs the bench5 (diff core) and bench6 (storage engine) experiments
+# and compares each fresh report against its committed baseline
+# (BENCH_5.json, BENCH_6.json). The tolerances live in internal/bench
+# (Bench5Report.Compare / Bench6Report.Compare) and are deliberately
+# coarse — 3x on time, 1.5x on allocation rates, +0.15 on
+# delta-quality ratios, byte-identical deltas across worker counts,
+# 3x on fsyncs-per-Put with an absolute never-one-fsync-per-Put floor
+# — so the gate catches gross regressions on any hardware without
+# flaking on load noise.
 #
 # Usage:
-#   scripts/benchdiff.sh           full-size run against BENCH_5.json
-#   scripts/benchdiff.sh -quick    fewer repetitions (the check.sh smoke)
+#   scripts/benchdiff.sh           full-size runs against the baselines
+#   scripts/benchdiff.sh -quick    smaller workloads (the check.sh smoke)
 #
-# Regenerate the baseline after an intentional perf change with:
-#   make bench-json
+# Regenerate the baselines after an intentional perf change with:
+#   make bench-json bench-json6
 set -eu
 
 cd "$(dirname "$0")/.."
 
 GO=${GO:-go}
 BASELINE=${BASELINE:-BENCH_5.json}
+BASELINE6=${BASELINE6:-BENCH_6.json}
 
 if [ ! -f "$BASELINE" ]; then
     echo "benchdiff: no baseline at $BASELINE (generate one with 'make bench-json')" >&2
+    exit 1
+fi
+if [ ! -f "$BASELINE6" ]; then
+    echo "benchdiff: no baseline at $BASELINE6 (generate one with 'make bench-json6')" >&2
     exit 1
 fi
 
@@ -32,3 +40,4 @@ if [ "${1:-}" = "-quick" ]; then
 fi
 
 $GO run ./cmd/xybench $QUICK -compare "$BASELINE" bench5
+$GO run ./cmd/xybench $QUICK -compare "$BASELINE6" bench6

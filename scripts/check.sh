@@ -10,9 +10,12 @@
 #   4. race tests  the whole suite under -race, including the
 #                  concurrent Put/Diff/Subscribe stress test
 #   5. fuzz smoke  every fuzzer briefly (FUZZTIME, default 10s)
-#   6. bench smoke quick bench5 run compared against the committed
-#                  BENCH_5.json with coarse tolerances (3x time, 1.5x
-#                  allocations, +0.15 quality ratio, identical deltas)
+#   6. load smoke  storage load harness: 64 concurrent writers must
+#                  amortize to < 0.1 fsyncs per acknowledged Put
+#   7. bench smoke quick bench5 + bench6 runs compared against the
+#                  committed BENCH_5.json / BENCH_6.json with coarse
+#                  tolerances (3x time, 1.5x allocations, +0.15 quality
+#                  ratio, identical deltas, 3x fsyncs-per-Put)
 #
 # Exits nonzero on the first failing step.
 set -eu
@@ -41,6 +44,9 @@ $GO test ./internal/xpathlite -run '^$' -fuzz '^FuzzCompile$' -fuzztime "$FUZZTI
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzApply$' -fuzztime "$FUZZTIME"
 $GO test ./internal/diff -run '^$' -fuzz '^FuzzDiffApply$' -fuzztime "$FUZZTIME"
+
+echo "==> load smoke"
+$GO run ./cmd/xyload -assert-fsync-ratio 0.1
 
 echo "==> bench smoke"
 ./scripts/benchdiff.sh -quick
