@@ -13,16 +13,20 @@
 #   6. load-smoke — the storage load harness at the smoke size; fails
 #                   unless group commit holds fsyncs-per-Put under 0.1
 #                   with 64 concurrent writers
-#   7. bench-check — quick bench5 + bench6 runs gated against
+#   7. scrub-smoke — bit-rot round-trip: flip a bit in a sealed
+#                   segment, assert the scrubber detects and repairs it
+#                   byte-identically (and the CLI path quarantines what
+#                   it cannot repair)
+#   8. bench-check — quick bench5 + bench6 runs gated against
 #                   BENCH_5.json / BENCH_6.json (coarse tolerances;
 #                   catches gross perf regressions)
 #
 # scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke bench-json bench-json6 bench-check server crawl-demo
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke scrub-smoke bench-json bench-json6 bench-check server crawl-demo
 
-check: fmt vet build race fuzz-smoke load-smoke bench-check
+check: fmt vet build race fuzz-smoke load-smoke scrub-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -67,6 +71,14 @@ bench-check:
 # -journal-sync=always semantics (every acked Put fsynced before ack).
 load-smoke:
 	$(GO) run ./cmd/xyload -assert-fsync-ratio 0.1
+
+# Bit-rot smoke: one flipped bit in a sealed segment must be detected
+# and repaired byte-identically within a single scrub cycle, and the
+# xystore scrub subcommand must quarantine (never serve) what an
+# offline pass cannot rebuild.
+scrub-smoke:
+	$(GO) test ./internal/vstore -run '^TestScrubRepairsCorruptSealedSegment$$' -count=1
+	$(GO) test ./cmd/xystore -run '^TestScrubCommand' -count=1
 
 # Smoke-run every fuzzer briefly: ~10s each, no corpus growth kept.
 # Go runs one fuzz target per invocation, hence one line per fuzzer.

@@ -177,7 +177,16 @@ func (d *daemonIngester) ingest(ctx context.Context, id string, body []byte) (bo
 		return false, fmt.Errorf("read PUT %s response: %w", u, err)
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		return false, fmt.Errorf("PUT %s: status %d: %s", u, resp.StatusCode, firstLine(payload))
+		err := fmt.Errorf("PUT %s: status %d: %s", u, resp.StatusCode, firstLine(payload))
+		// A shedding daemon (ErrBusy → 503) names its own pacing via
+		// Retry-After; surface it typed so the crawler's retry loop
+		// honors the hint instead of its fixed backoff schedule.
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			if after := crawl.ParseRetryAfter(resp.Header.Get("Retry-After")); after > 0 {
+				return false, &crawl.RetryAfterError{After: after, Err: err}
+			}
+		}
+		return false, err
 	}
 	var out struct {
 		Version  int `json:"version"`

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"io"
 	"log/slog"
 	"net/http"
@@ -122,5 +123,40 @@ func TestRunRejectsEmptyAndMalformed(t *testing.T) {
 	}
 	if err := run(ctx, cfg); err == nil {
 		t.Error("run with a non-http source succeeded")
+	}
+}
+
+// TestIngestSurfacesRetryAfter: a 503 from the daemon's load shedding
+// carries Retry-After; the ingester must return the typed error so the
+// crawler's retry loop can honor the hint. Other failures stay plain.
+func TestIngestSurfacesRetryAfter(t *testing.T) {
+	var status int
+	var retryAfter string
+	daemon := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		http.Error(w, "busy", status)
+	}))
+	defer daemon.Close()
+	ing := &daemonIngester{target: daemon.URL}
+	ctx := context.Background()
+
+	status, retryAfter = http.StatusServiceUnavailable, "7"
+	_, err := ing.ingest(ctx, "d", []byte("<r/>"))
+	var ra *crawl.RetryAfterError
+	if !errors.As(err, &ra) || ra.After != 7*time.Second {
+		t.Fatalf("503 + Retry-After: err = %v, want RetryAfterError{7s}", err)
+	}
+
+	// No header → plain error: nothing to honor.
+	status, retryAfter = http.StatusServiceUnavailable, ""
+	if _, err := ing.ingest(ctx, "d", []byte("<r/>")); err == nil || errors.As(err, &ra) {
+		t.Fatalf("503 without header: err = %v, want plain error", err)
+	}
+	// 4xx never carries pacing, even with the header set.
+	status, retryAfter = http.StatusBadRequest, "7"
+	if _, err := ing.ingest(ctx, "d", []byte("<r/>")); err == nil || errors.As(err, &ra) {
+		t.Fatalf("400: err = %v, want plain error", err)
 	}
 }

@@ -91,6 +91,11 @@ type config struct {
 	crawlMin         time.Duration
 	crawlMax         time.Duration
 	crawlConcurrency int
+
+	scrubInterval time.Duration
+	scrubThrottle int64
+	scrubNoRepair bool
+	degradedOpen  bool
 }
 
 func main() {
@@ -112,6 +117,10 @@ func main() {
 	flag.DurationVar(&cfg.crawlMin, "crawl-min", 0, "minimum revisit `interval` (0 = default 15s)")
 	flag.DurationVar(&cfg.crawlMax, "crawl-max", 0, "maximum revisit `interval` (0 = default 1h)")
 	flag.IntVar(&cfg.crawlConcurrency, "crawl-concurrency", 0, "fetcher pool size (0 = min(GOMAXPROCS, 8))")
+	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0, "background integrity scrub `period` (0 disables the scrubber)")
+	flag.Int64Var(&cfg.scrubThrottle, "scrub-throttle", 0, "scrub read ceiling in `bytes` per second (0 = default 8MiB/s, negative = unthrottled)")
+	flag.BoolVar(&cfg.scrubNoRepair, "scrub-no-repair", false, "quarantine every corruption instead of repairing from resident data")
+	flag.BoolVar(&cfg.degradedOpen, "degraded-open", false, "tolerate corrupt files at startup: quarantine them and serve the affected documents degraded instead of refusing to start")
 	flag.Parse()
 	cfg.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg.server.Logger = cfg.logger
@@ -144,6 +153,12 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 		MaxBatch:     cfg.fsyncBatch,
 		MaxDelay:     cfg.fsyncDelay,
 		CacheSize:    cfg.versionCache,
+		OpenDegraded: cfg.degradedOpen,
+		Scrub: vstore.ScrubConfig{
+			Interval: cfg.scrubInterval,
+			Throttle: cfg.scrubThrottle,
+			NoRepair: cfg.scrubNoRepair,
+		},
 	})
 	if errors.Is(err, vstore.ErrNeedsMigration) {
 		return fmt.Errorf("%s holds a pre-shard data layout: run `xystore -dir %s migrate` once, then restart (%w)", cfg.dir, cfg.dir, err)
@@ -197,7 +212,10 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 		"journalSync", policy.String(),
 		"snapshotVersions", rec.SnapshotVersions,
 		"journalRecords", rec.JournalRecords,
-		"tornTails", rec.TornTails)
+		"tornTails", rec.TornTails,
+		"quarantined", rec.Quarantined,
+		"degradedDocs", rec.DegradedDocs,
+		"scrubInterval", cfg.scrubInterval.String())
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

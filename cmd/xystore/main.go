@@ -23,18 +23,25 @@
 //	xystore -dir DIR inspect            shard / segment / cache summary
 //	xystore -dir DIR compact            fold segment logs into snapshots
 //	xystore -dir DIR migrate [SHARDS]   convert an old layout in place
+//	xystore -dir DIR scrub [-once] [-repair]
+//	                                    verify every checksum; quarantine
+//	                                    (and with -repair rewrite) damage
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"time"
 
 	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/scrub"
 	"xydiff/internal/store"
 	"xydiff/internal/vstore"
 	"xydiff/internal/xpathlite"
@@ -121,6 +128,11 @@ func run(dir string, args []string) error {
 	// any engine has the directory open.
 	if cmd == "migrate" {
 		return runMigrate(dir, rest)
+	}
+	// scrub needs engine-specific integrity plumbing (and, for the old
+	// layout, exclusive offline access), so it also bypasses exec.
+	if cmd == "scrub" {
+		return runScrub(dir, rest)
 	}
 	s, err := loadOrEmpty(dir)
 	if err != nil {
@@ -323,6 +335,89 @@ func runInspect(s engine) error {
 			sh.Shard, sh.Docs, sh.Segments, sh.Appends, sh.Syncs, sh.Rejected)
 	}
 	return nil
+}
+
+// runScrub verifies every checksum in the warehouse. One pass by
+// default with -once, otherwise a pass every -interval until
+// interrupted. Damage is quarantined (renamed aside, never deleted);
+// -repair additionally rewrites whatever the surviving redundancy
+// covers. Works on both layouts: the sharded engine scrubs through
+// its live scrubber, the old per-document layout is scanned offline.
+func runScrub(dir string, rest []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	once := fs.Bool("once", false, "run exactly one pass and exit")
+	repair := fs.Bool("repair", false, "rewrite damage covered by surviving redundancy instead of only quarantining")
+	interval := fs.Duration("interval", time.Minute, "pause between passes without -once")
+	throttle := fs.Int64("throttle", 0, "read ceiling in bytes per second (0 = default 8MiB/s, negative = unthrottled)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("scrub takes no arguments")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var pass scrub.PassFunc
+	// OpenDegraded: a scrub run must not be refused by the very
+	// corruption it exists to handle. Damage found during recovery is
+	// quarantined and reported below; live repair from resident chains
+	// covers damage that appears while the pass loop runs.
+	vs, err := vstore.Open(dir, diff.Options{}, vstore.Config{
+		OpenDegraded: true,
+		Scrub:        vstore.ScrubConfig{Throttle: *throttle, NoRepair: !*repair},
+	})
+	switch {
+	case err == nil:
+		defer vs.Close()
+		if rec := vs.RecoveryStats(); rec.Quarantined > 0 {
+			fmt.Printf("scrub: recovery quarantined %d corrupt files; %d documents serve degraded\n",
+				rec.Quarantined, rec.DegradedDocs)
+		}
+		pass = vs.ScrubPass
+	case errors.Is(err, vstore.ErrNeedsMigration):
+		cfg := scrub.Config{Throttle: *throttle, Repair: *repair}
+		pass = func(ctx context.Context) (scrub.Report, error) {
+			return store.ScrubDir(ctx, nil, dir, cfg)
+		}
+	default:
+		return err
+	}
+	for {
+		rep, err := pass(ctx)
+		printScrubReport(rep)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if *once || ctx.Err() != nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// printScrubReport renders one pass for the terminal.
+func printScrubReport(rep scrub.Report) {
+	rate := 0.0
+	if s := rep.Duration.Seconds(); s > 0 {
+		rate = float64(rep.BytesScanned) / s / (1 << 20)
+	}
+	fmt.Printf("scrub: %d segments + %d snapshots, %d records, %d bytes in %s (%.1f MB/s)\n",
+		rep.SegmentsScanned, rep.SnapshotsScanned, rep.RecordsVerified,
+		rep.BytesScanned, rep.Duration.Round(time.Millisecond), rate)
+	fmt.Printf("scrub: %d found, %d repaired, %d quarantined, %d documents degraded\n",
+		rep.Found, rep.Repaired, rep.Quarantined, rep.Degraded)
+	for _, f := range rep.Findings {
+		at := ""
+		if f.Offset >= 0 {
+			at = fmt.Sprintf(" at %d", f.Offset)
+		}
+		fmt.Printf("scrub: %s %s%s: %s\n", f.Action, f.Path, at, f.Reason)
+	}
 }
 
 // runMigrate converts an old per-document directory to the sharded

@@ -7,6 +7,8 @@ import (
 
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/faultfs"
+	"xydiff/internal/scrub"
 	"xydiff/internal/store"
 	"xydiff/internal/vstore"
 )
@@ -182,5 +184,102 @@ func TestMigrateCommand(t *testing.T) {
 	}
 	if err := run(wh, []string{"migrate", "zero"}); err == nil {
 		t.Fatal("migrate with bad shard count succeeded")
+	}
+}
+
+func TestScrubCommandShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "warehouse")
+	v1 := writeDoc(t, dir, "v1.xml", `<r><a>1</a></r>`)
+	v2 := writeDoc(t, dir, "v2.xml", `<r><a>2</a></r>`)
+	for _, args := range [][]string{{"put", "d", v1}, {"put", "d", v2}} {
+		if err := run(wh, args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clean pass.
+	if err := run(wh, []string{"scrub", "-once"}); err != nil {
+		t.Fatalf("clean scrub: %v", err)
+	}
+	// Corrupt a snapshot (compact first so one exists). After the
+	// compaction the snapshot is the only copy, so an offline scrub
+	// cannot rebuild it: the honest outcome is quarantine + degraded,
+	// never a refused run and never a silent wrong read.
+	if err := run(wh, []string{"compact"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(wh, "shard-*", "docs", "*", "v1.xml"))
+	if len(matches) != 1 {
+		t.Fatalf("snapshots = %v", matches)
+	}
+	if err := faultfs.FlipBit(faultfs.OS{}, matches[0], 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(wh, []string{"scrub", "-once", "-repair"}); err != nil {
+		t.Fatalf("scrub on damaged dir: %v", err)
+	}
+	q, _ := filepath.Glob(filepath.Join(wh, "shard-*", "docs", "*"+scrub.QuarantineSuffix))
+	if len(q) != 1 {
+		t.Fatalf("quarantined snapshot dirs = %v", q)
+	}
+	// Reads of the lost history surface a degraded error, not bytes
+	// from the corrupt file.
+	if err := run(wh, []string{"cat", "d", "1"}); err == nil {
+		t.Fatal("cat of quarantined history succeeded")
+	}
+}
+
+func TestScrubCommandOldLayout(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "old")
+	s, err := store.Open(wh, diff.Options{}, store.Durability{Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := dom.ParseString(`<r><a>1</a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("d", doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(wh); err != nil { // snapshot alongside the journal
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(wh, []string{"scrub", "-once"}); err != nil {
+		t.Fatalf("old-layout scrub: %v", err)
+	}
+	// A diverged latest.xml is derived state: -repair rewrites it from
+	// the reconstructed chain.
+	latest := filepath.Join(wh, "d", "latest.xml")
+	if err := os.WriteFile(latest, []byte(`<r><a>wrong</a></r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(wh, []string{"scrub", "-once", "-repair"}); err != nil {
+		t.Fatalf("old-layout repair: %v", err)
+	}
+	fixed, err := os.ReadFile(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fixed) == `<r><a>wrong</a></r>` {
+		t.Fatal("latest.xml not rewritten")
+	}
+	// Damage the journal: scrub must quarantine, not delete.
+	j, _ := filepath.Glob(filepath.Join(wh, "journal-*.log"))
+	if len(j) != 1 {
+		t.Fatalf("journals = %v", j)
+	}
+	if err := faultfs.FlipBit(faultfs.OS{}, j[0], 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(wh, []string{"scrub", "-once"}); err != nil {
+		t.Fatalf("scrub with damage: %v", err)
+	}
+	if _, err := os.Stat(j[0] + scrub.QuarantineSuffix); err != nil {
+		t.Fatalf("journal not quarantined: %v", err)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -28,6 +30,43 @@ func (e *transientError) Error() string { return e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
 
 func transient(err error) error { return &transientError{err: err} }
+
+// RetryAfterError is a transient failure where the server named its
+// own pacing: a 503 (the daemon's ErrBusy shedding) or 429 carrying a
+// Retry-After header. The retry loop honors After — clamped by the
+// retry policy's Max — instead of its computed backoff, so a loaded
+// daemon's "come back in N seconds" is respected rather than hammered
+// through on a fixed schedule.
+type RetryAfterError struct {
+	After time.Duration // server-suggested wait; pre-clamp
+	Err   error
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After)
+}
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// ParseRetryAfter reads a Retry-After header value: delta-seconds or
+// an HTTP-date. Zero means absent/unparseable/in the past.
+func ParseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
 
 func isTransient(err error) bool {
 	var t *transientError
@@ -55,6 +94,12 @@ func (c *Crawler) fetchCycle(ctx context.Context, id string) {
 		}
 		c.metrics.addRetry()
 		delay := c.cfg.Retry.Delay(attempt, nil) // in-cycle pacing; jitter comes from the cross-cycle path
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			// The server told us when to come back; its word wins over
+			// the computed backoff, bounded by the policy's Max.
+			delay = c.cfg.Retry.Clamp(ra.After)
+		}
 		c.log.Debug("crawl retry", "source", id, "attempt", attempt+1, "delay", delay, "err", err)
 		select {
 		case <-ctx.Done():
@@ -109,7 +154,11 @@ func (c *Crawler) fetchOnce(ctx context.Context, src Source) (fetchOutcome, erro
 		return fetchOutcome{notModified: true}, nil
 	case resp.StatusCode == http.StatusOK:
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
-		return fetchOutcome{}, transient(fmt.Errorf("fetch %s: status %d", src.URL, resp.StatusCode))
+		err := fmt.Errorf("fetch %s: status %d", src.URL, resp.StatusCode)
+		if after := ParseRetryAfter(resp.Header.Get("Retry-After")); after > 0 {
+			return fetchOutcome{}, transient(&RetryAfterError{After: after, Err: err})
+		}
+		return fetchOutcome{}, transient(err)
 	default:
 		return fetchOutcome{}, fmt.Errorf("fetch %s: status %d", src.URL, resp.StatusCode)
 	}

@@ -91,6 +91,7 @@ const (
 	OpRename   Op = "rename"
 	OpRemove   Op = "remove"
 	OpTruncate Op = "truncate"
+	OpRead     Op = "read" // whole-file ReadFile
 )
 
 // Injection errors. A crashed filesystem fails everything with
@@ -220,12 +221,17 @@ func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
 	return &faultyFile{fs: f, f: file}, nil
 }
 
-// ReadFile implements FS. Reads are never faulted: the crash matrix is
-// about the write path, and recovery reads through a fresh OS anyway.
-// A crashed filesystem still refuses them, though.
+// ReadFile implements FS. Read faults (OpRead) model a disk whose
+// sectors fail on access — the scrubber must classify such a file as
+// damaged without ever seeing its bytes. Recovery reads through a
+// fresh OS, so write-path crash tests are unaffected by the counting.
 func (f *Faulty) ReadFile(path string) ([]byte, error) {
-	if f.Crashed() {
-		return nil, ErrCrashed
+	rule, err := f.step(OpRead)
+	if err != nil {
+		return nil, err
+	}
+	if rule != nil {
+		return nil, rule.err()
 	}
 	return f.base.ReadFile(path)
 }

@@ -108,3 +108,82 @@ func TestRenameFault(t *testing.T) {
 		t.Error("source vanished despite faulted rename")
 	}
 }
+
+func TestReadFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	os.WriteFile(path, []byte("healthy"), 0o644)
+	fs := Wrap(OS{}, &Fault{Op: OpRead, Countdown: 2})
+	if got, err := fs.ReadFile(path); err != nil || string(got) != "healthy" {
+		t.Fatalf("first read = %q, %v", got, err)
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want injected fault", err)
+	}
+	if got, err := fs.ReadFile(path); err != nil || string(got) != "healthy" {
+		t.Fatalf("third read = %q, %v — fault must fire exactly once", got, err)
+	}
+	if fs.Count(OpRead) != 3 {
+		t.Fatalf("count(read) = %d, want 3", fs.Count(OpRead))
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	os.WriteFile(path, []byte{0x00, 0xff, 0x0f}, 0o644)
+	if err := FlipBit(OS{}, path, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if want := []byte{0x00, 0xf7, 0x0f}; string(got) != string(want) {
+		t.Fatalf("after flip: %x, want %x", got, want)
+	}
+	// Negative offset counts from the end; flipping twice restores.
+	if err := FlipBit(OS{}, path, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(OS{}, path, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if want := []byte{0x00, 0xf7, 0x0f}; string(got) != string(want) {
+		t.Fatalf("double flip not identity: %x, want %x", got, want)
+	}
+	if err := FlipBit(OS{}, path, 99, 0); err == nil {
+		t.Fatal("offset beyond EOF must fail")
+	}
+	if err := FlipBit(OS{}, path, 0, 8); err == nil {
+		t.Fatal("bit index 8 must fail")
+	}
+}
+
+func TestZeroRangeAndTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	os.WriteFile(path, []byte("abcdefgh"), 0o644)
+	if err := ZeroRange(OS{}, path, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if want := "ab\x00\x00\x00fgh"; string(got) != want {
+		t.Fatalf("after zero: %q, want %q", got, want)
+	}
+	if err := ZeroRange(OS{}, path, 6, 5); err == nil {
+		t.Fatal("range beyond EOF must fail")
+	}
+	if err := TruncateTail(OS{}, path, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if want := "ab\x00\x00\x00"; string(got) != want {
+		t.Fatalf("after truncate: %q, want %q", got, want)
+	}
+	// Cutting more than the file holds leaves an empty file, not an error.
+	if err := TruncateTail(OS{}, path, 100); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("size %d after over-truncate", fi.Size())
+	}
+}

@@ -83,6 +83,22 @@ func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// Clamp bounds a server-suggested delay (a Retry-After hint) to the
+// policy's cap: the server knows how long it wants to shed load, but
+// the client's Max stays the final word so a hostile or confused
+// origin cannot park a fetcher for hours. Non-positive suggestions
+// fall back to Base — "retry soon" without busy-looping.
+func (p Policy) Clamp(suggested time.Duration) time.Duration {
+	p = p.withDefaults()
+	if suggested <= 0 {
+		return p.Base
+	}
+	if suggested > p.Max {
+		return p.Max
+	}
+	return suggested
+}
+
 // Backoff is a stateful retry pacer: each Next call returns the delay
 // for one more consecutive failure, and Reset (on success) starts the
 // progression over. Safe for concurrent use.

@@ -73,6 +73,27 @@ func TestMaxBelowBaseClampsToBase(t *testing.T) {
 	}
 }
 
+func TestClampBoundsSuggestedDelay(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second}
+	cases := []struct {
+		suggested, want time.Duration
+	}{
+		{500 * time.Millisecond, 500 * time.Millisecond}, // inside the cap: taken verbatim
+		{time.Hour, time.Second},                         // above Max: the client's cap wins
+		{0, 10 * time.Millisecond},                       // absent hint: fall back to Base
+		{-time.Second, 10 * time.Millisecond},            // nonsense hint: fall back to Base
+	}
+	for _, c := range cases {
+		if got := p.Clamp(c.suggested); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.suggested, got, c.want)
+		}
+	}
+	// The zero-value policy clamps to its defaults.
+	if got := (Policy{}).Clamp(time.Hour); got != time.Minute {
+		t.Errorf("zero-value Clamp(1h) = %v, want default Max 1m", got)
+	}
+}
+
 func TestBackoffAdvanceAndReset(t *testing.T) {
 	b := New(Policy{Base: 10 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: -1}, 1)
 	if d := b.Next(); d != 10*time.Millisecond {

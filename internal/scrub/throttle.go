@@ -1,0 +1,76 @@
+package scrub
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Throttle is a token bucket pacing scrub IO to a byte-per-second
+// budget so a background cycle never competes with foreground traffic
+// for the disk. A nil *Throttle is valid and means "unlimited".
+type Throttle struct {
+	mu      sync.Mutex
+	rate    float64   // tokens (bytes) added per second
+	burst   float64   // bucket capacity
+	tokens  float64   // current fill
+	lastAdd time.Time // when tokens was last brought current
+
+	// sleep is swapped in tests for determinism.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewThrottle builds a throttle allowing bytesPerSec of IO, with a
+// burst of one second's budget. bytesPerSec <= 0 returns nil
+// (unlimited).
+func NewThrottle(bytesPerSec int64) *Throttle {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	return &Throttle{
+		rate:    float64(bytesPerSec),
+		burst:   float64(bytesPerSec),
+		tokens:  float64(bytesPerSec),
+		lastAdd: time.Now(),
+		sleep:   sleepCtx,
+	}
+}
+
+// Take blocks until n bytes of budget are available or ctx is done.
+// Requests larger than the burst are allowed (the caller just waits
+// proportionally longer); the bucket is permitted to go negative so a
+// single oversized read does not deadlock.
+func (t *Throttle) Take(ctx context.Context, n int64) error {
+	if t == nil || n <= 0 {
+		return ctx.Err()
+	}
+	t.mu.Lock()
+	now := time.Now()
+	t.tokens += now.Sub(t.lastAdd).Seconds() * t.rate
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	t.lastAdd = now
+	t.tokens -= float64(n)
+	var wait time.Duration
+	if t.tokens < 0 {
+		wait = time.Duration(-t.tokens / t.rate * float64(time.Second))
+	}
+	sleep := t.sleep
+	t.mu.Unlock()
+	if wait > 0 {
+		return sleep(ctx, wait)
+	}
+	return ctx.Err()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

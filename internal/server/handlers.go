@@ -49,9 +49,18 @@ func (s *Server) shedLoad(w http.ResponseWriter, msg string) {
 
 // storeError maps store failures onto HTTP statuses: unknown documents
 // and out-of-range versions are 404s, deadline hits are load-shedding
-// 503s, the rest are genuine 500s.
+// 503s, degraded history (quarantined by the scrubber) is 410 Gone
+// with a Warning header — never a 500 — and the rest are genuine 500s.
 func storeError(w http.ResponseWriter, err error) {
+	var de *vstore.DegradedError
 	switch {
+	case errors.As(err, &de):
+		w.Header().Set("Warning", fmt.Sprintf("110 xydiffd %q", "degraded: "+de.Reason))
+		writeJSON(w, http.StatusGone, map[string]any{
+			"error":          de.Error(),
+			"degraded":       true,
+			"intactVersions": de.Intact,
+		})
 	case errors.Is(err, store.ErrUnknownDocument), errors.Is(err, store.ErrNoSuchVersion):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -59,6 +68,25 @@ func storeError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded during diff")
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// degradedStatser is the optional capability the sharded engine adds
+// for degraded-mode serving: reads of a document whose history is
+// partly quarantined succeed with a Warning header instead of failing.
+type degradedStatser interface {
+	Degraded(id string) (bool, string)
+}
+
+// warnDegraded stamps the Warning header when the document serves
+// degraded; must run before the response body starts.
+func (s *Server) warnDegraded(w http.ResponseWriter, id string) {
+	ds, ok := s.store.(degradedStatser)
+	if !ok {
+		return
+	}
+	if deg, reason := ds.Degraded(id); deg {
+		w.Header().Set("Warning", fmt.Sprintf("110 xydiffd %q", "degraded: "+reason))
 	}
 }
 
@@ -90,11 +118,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if eng, ok := s.store.(storageStatser); ok {
 		ss := eng.StorageStats()
+		perShard := make([]map[string]any, 0, len(ss.PerShard))
+		for _, sh := range ss.PerShard {
+			perShard = append(perShard, map[string]any{
+				"shard":           sh.Shard,
+				"sealedSegments":  sh.SealedSegments,
+				"lastCompactUnix": sh.LastCompactUnix,
+				"quarantined":     sh.Quarantined,
+				"degradedDocs":    sh.DegradedDocs,
+			})
+		}
 		body["storage"] = map[string]any{
 			"engine":            "vstore",
 			"shards":            ss.Shards,
 			"documents":         ss.Documents,
 			"segments":          ss.Segments,
+			"sealedSegments":    ss.SealedSegments,
 			"fsyncTotal":        ss.FsyncTotal,
 			"meanFsyncBatch":    ss.MeanBatch(),
 			"maxFsyncBatch":     ss.MaxBatch,
@@ -104,6 +143,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"cacheCap":          ss.CacheCap,
 			"compactions":       ss.Compactions,
 			"compactionSeconds": ss.CompactionSeconds,
+			"degradedDocs":      ss.DegradedDocs,
+			"quarantined":       ss.Quarantined,
+			"scrub": map[string]any{
+				"cycles":           ss.Scrub.Cycles,
+				"bytesScanned":     ss.Scrub.BytesScanned,
+				"recordsVerified":  ss.Scrub.RecordsVerified,
+				"found":            ss.Scrub.Found,
+				"repaired":         ss.Scrub.Repaired,
+				"quarantined":      ss.Scrub.Quarantined,
+				"lastCycleUnix":    ss.Scrub.LastUnix,
+				"lastCycleSeconds": ss.Scrub.LastSeconds,
+			},
+			"perShard": perShard,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -199,6 +251,33 @@ func writeStorageMetrics(w io.Writer, ss vstore.StorageStats) {
 	fmt.Fprintln(w, "# HELP xydiffd_store_cache_resident Materialized document trees resident in the version cache.")
 	fmt.Fprintln(w, "# TYPE xydiffd_store_cache_resident gauge")
 	fmt.Fprintf(w, "xydiffd_store_cache_resident %d\n", ss.CacheLen)
+	fmt.Fprintln(w, "# HELP xydiffd_store_degraded_docs Documents serving degraded (part of their history quarantined).")
+	fmt.Fprintln(w, "# TYPE xydiffd_store_degraded_docs gauge")
+	fmt.Fprintf(w, "xydiffd_store_degraded_docs %d\n", ss.DegradedDocs)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_cycles_total Integrity scrub passes completed.")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_cycles_total counter")
+	fmt.Fprintf(w, "xydiffd_scrub_cycles_total %d\n", ss.Scrub.Cycles)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_scanned_bytes_total Bytes read and CRC-verified by the scrubber.")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_scanned_bytes_total counter")
+	fmt.Fprintf(w, "xydiffd_scrub_scanned_bytes_total %d\n", ss.Scrub.BytesScanned)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_records_verified_total Segment records whose checksum and decoding the scrubber verified.")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_records_verified_total counter")
+	fmt.Fprintf(w, "xydiffd_scrub_records_verified_total %d\n", ss.Scrub.RecordsVerified)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_corruptions_found_total Corruptions the scrubber detected.")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_corruptions_found_total counter")
+	fmt.Fprintf(w, "xydiffd_scrub_corruptions_found_total %d\n", ss.Scrub.Found)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_repaired_total Corruptions repaired by rewriting from resident data.")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_repaired_total counter")
+	fmt.Fprintf(w, "xydiffd_scrub_repaired_total %d\n", ss.Scrub.Repaired)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_quarantined_total Corrupt files renamed aside (never deleted).")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_quarantined_total counter")
+	fmt.Fprintf(w, "xydiffd_scrub_quarantined_total %d\n", ss.Scrub.Quarantined)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_last_cycle_seconds Duration of the most recent scrub pass.")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_last_cycle_seconds gauge")
+	fmt.Fprintf(w, "xydiffd_scrub_last_cycle_seconds %g\n", ss.Scrub.LastSeconds)
+	fmt.Fprintln(w, "# HELP xydiffd_scrub_last_cycle_unixtime When the most recent scrub pass finished (0 = none yet).")
+	fmt.Fprintln(w, "# TYPE xydiffd_scrub_last_cycle_unixtime gauge")
+	fmt.Fprintf(w, "xydiffd_scrub_last_cycle_unixtime %d\n", ss.Scrub.LastUnix)
 	fmt.Fprintln(w, "# HELP xydiffd_store_segments Segment files on disk.")
 	fmt.Fprintln(w, "# TYPE xydiffd_store_segments gauge")
 	fmt.Fprintln(w, "# HELP xydiffd_store_shard_fsync_total Segment fsyncs per shard.")
@@ -209,6 +288,10 @@ func writeStorageMetrics(w io.Writer, ss vstore.StorageStats) {
 		fmt.Fprintf(w, "xydiffd_store_shard_docs{shard=\"%d\"} %d\n", sh.Shard, sh.Docs)
 		fmt.Fprintf(w, "xydiffd_store_shard_batch_records_total{shard=\"%d\"} %d\n", sh.Shard, sh.BatchRecords)
 		fmt.Fprintf(w, "xydiffd_store_shard_rejected_total{shard=\"%d\"} %d\n", sh.Shard, sh.Rejected)
+		fmt.Fprintf(w, "xydiffd_store_shard_sealed_segments{shard=\"%d\"} %d\n", sh.Shard, sh.SealedSegments)
+		fmt.Fprintf(w, "xydiffd_store_shard_last_compact_unixtime{shard=\"%d\"} %d\n", sh.Shard, sh.LastCompactUnix)
+		fmt.Fprintf(w, "xydiffd_store_shard_quarantined_total{shard=\"%d\"} %d\n", sh.Shard, sh.Quarantined)
+		fmt.Fprintf(w, "xydiffd_store_shard_degraded_docs{shard=\"%d\"} %d\n", sh.Shard, sh.DegradedDocs)
 	}
 }
 
@@ -326,11 +409,13 @@ func writeDoc(w http.ResponseWriter, doc *dom.Node, version int) {
 }
 
 func (s *Server) handleGetLatest(w http.ResponseWriter, r *http.Request) {
-	doc, version, err := s.store.Latest(r.PathValue("id"))
+	id := r.PathValue("id")
+	doc, version, err := s.store.Latest(id)
 	if err != nil {
 		storeError(w, err)
 		return
 	}
+	s.warnDegraded(w, id)
 	writeDoc(w, doc, version)
 }
 
@@ -340,11 +425,13 @@ func (s *Server) handleGetVersion(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "version must be an integer")
 		return
 	}
-	doc, err := s.store.Version(r.PathValue("id"), n)
+	id := r.PathValue("id")
+	doc, err := s.store.Version(id, n)
 	if err != nil {
 		storeError(w, err)
 		return
 	}
+	s.warnDegraded(w, id)
 	writeDoc(w, doc, n)
 }
 
@@ -380,6 +467,7 @@ func (s *Server) handleGetDelta(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.warnDegraded(w, id)
 	w.Header().Set("Content-Type", "application/xml")
 	_, _ = d.WriteTo(w) // headers are out; a write error means the client hung up
 }

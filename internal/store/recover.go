@@ -15,6 +15,7 @@ import (
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 	"xydiff/internal/faultfs"
+	"xydiff/internal/scrub"
 	"xydiff/internal/xid"
 )
 
@@ -37,6 +38,14 @@ type RecoveryStats struct {
 	TornTails int
 	// JournalBytes is the total size of the replayed journal files.
 	JournalBytes int64
+	// Quarantined counts corrupt files recovery set aside (renamed,
+	// never deleted) instead of refusing to open; only degraded-
+	// tolerant engines populate it.
+	Quarantined int
+	// DegradedDocs counts documents left serving degraded — their
+	// latest intact version — because part of their history was
+	// quarantined.
+	DegradedDocs int
 }
 
 // RecoveryStats returns what the store reconstructed when it opened
@@ -90,7 +99,9 @@ func recoverInto(s *Store, fsys faultfs.FS, dir string) error {
 		return err
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		// Quarantined snapshot directories (scrubber leavings) are
+		// evidence, not documents.
+		if !e.IsDir() || strings.Contains(e.Name(), scrub.QuarantineSuffix) {
 			continue
 		}
 		id := unescapeID(e.Name())

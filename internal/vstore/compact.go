@@ -1,14 +1,17 @@
 package vstore
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"xydiff/internal/faultfs"
+	"xydiff/internal/scrub"
 )
 
 // Compaction folds a shard's sealed segments into per-document
@@ -140,46 +143,57 @@ func (s *Store) compactShard(sh *shard) error {
 		if st == nil {
 			continue
 		}
-		if err := s.snapshotDoc(sh, id, st); err != nil {
+		if err := s.snapshotDoc(sh, id, st, false); err != nil {
 			return fmt.Errorf("vstore: snapshot %s: %w", id, err)
 		}
 	}
 	if err := s.retireSegments(sh, sealed); err != nil {
 		return fmt.Errorf("vstore: retire shard %d segments: %w", sh.idx, err)
 	}
+	sh.lastCompact.Store(time.Now().Unix())
 	return nil
 }
 
 // snapshotDoc persists one document's state under
 // shard-NNN/docs/<escaped id>/: the base version, any delta files the
-// previous snapshot lacked, and — last — the version counter, each
-// fsynced and renamed into place. The document's lock blocks Puts for
-// the duration, so the snapshot is a consistent cut at or after the
-// seal point (covering makes sealed records redundant; covering more
-// is harmless, replay skips them).
-func (s *Store) snapshotDoc(sh *shard, id string, st *docState) error {
+// previous snapshot lacked, the per-file checksum manifest, and —
+// last — the version counter, each fsynced and renamed into place.
+// With full set, every file is rewritten from the resident chain even
+// when the counter says it is current: that is the scrubber's repair
+// path for a snapshot whose on-disk bytes rotted. The document's lock
+// blocks Puts for the duration, so the snapshot is a consistent cut at
+// or after the seal point (covering makes sealed records redundant;
+// covering more is harmless, replay skips them).
+func (s *Store) snapshotDoc(sh *shard, id string, st *docState, full bool) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.versions == 0 || st.versions == st.snapVersions {
+	if st.versions == 0 || (!full && st.versions == st.snapVersions) {
 		return nil // nothing new to fold
 	}
 	sub := filepath.Join(sh.dir, docsDirName, escapeID(id))
 	if err := s.fs.MkdirAll(sub, 0o755); err != nil {
 		return err
 	}
-	if st.snapVersions == 0 {
+	if full || st.snapVersions == 0 {
 		if err := writeAtomic(s.fs, filepath.Join(sub, "v1.xml"), writeBytes(st.base)); err != nil {
 			return err
 		}
 	}
 	from := st.snapVersions
-	if from < 1 {
+	if full || from < 1 {
 		from = 1
 	}
 	for v := from; v < st.versions; v++ {
 		if err := writeAtomic(s.fs, filepath.Join(sub, deltaFile(v)), writeBytes(st.deltas[v-1])); err != nil {
 			return err
 		}
+	}
+	// The checksum manifest goes down after the content files and
+	// before the counter: a counter that points at files always points
+	// at verifiable ones. Content rewrites reproduce the originally
+	// acknowledged bytes, so existing entries stay valid across repair.
+	if err := writeAtomic(s.fs, filepath.Join(sub, sumsName), writeBytes(snapshotSums(st))); err != nil {
+		return err
 	}
 	counter := func(w io.Writer) (int64, error) {
 		n, err := io.WriteString(w, strconv.Itoa(st.versions))
@@ -190,6 +204,44 @@ func (s *Store) snapshotDoc(sh *shard, id string, st *docState) error {
 	}
 	st.snapVersions = st.versions
 	return nil
+}
+
+// sumsName is the snapshot checksum manifest: one "<file> <crc32c>"
+// line per snapshot content file. Recovery and the scrubber verify
+// against it; its absence is tolerated (snapshots written before the
+// manifest existed, migrated layouts).
+const sumsName = "sums"
+
+// snapshotSums renders the manifest for the resident chain; the caller
+// holds st.mu.
+func snapshotSums(st *docState) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "v1.xml %08x\n", scrub.Checksum(st.base))
+	for v := 1; v < st.versions; v++ {
+		fmt.Fprintf(&b, "%s %08x\n", deltaFile(v), scrub.Checksum(st.deltas[v-1]))
+	}
+	return b.Bytes()
+}
+
+// parseSums decodes a checksum manifest into file → CRC32-C.
+func parseSums(raw []byte) (map[string]uint32, error) {
+	out := make(map[string]uint32)
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		name, sum, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("bad sums line %q", line)
+		}
+		v, err := strconv.ParseUint(sum, 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad sums line %q: %w", line, err)
+		}
+		out[name] = uint32(v)
+	}
+	return out, nil
 }
 
 // retireSegments deletes sealed segment files whose content the

@@ -48,7 +48,7 @@ func (s *Store) Import(id string, base []byte, deltas [][]byte) error {
 	}
 	st.versions = 1 + len(deltas)
 	st.mu.Unlock()
-	if err := s.snapshotDoc(sh, id, st); err != nil {
+	if err := s.snapshotDoc(sh, id, st, false); err != nil {
 		return fmt.Errorf("vstore: import %s: %w", id, err)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package vstore
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 
 	"xydiff/internal/diff"
 	"xydiff/internal/faultfs"
+	"xydiff/internal/scrub"
 	"xydiff/internal/store"
 )
 
@@ -99,6 +101,11 @@ func Open(dir string, opts diff.Options, cfg Config) (*Store, error) {
 		s.compactDone = make(chan struct{})
 		go s.compactLoop()
 	}
+	s.recovery.DegradedDocs = int(s.DegradedDocs())
+	if cfg.Scrub.Interval > 0 {
+		s.scrubber = scrub.NewRunner(cfg.Scrub.Interval, s.ScrubPass)
+		go s.scrubber.Run(context.Background())
+	}
 	return s, nil
 }
 
@@ -175,13 +182,29 @@ func (s *Store) recoverShard(sh *shard) error {
 	docsDir := filepath.Join(sh.dir, docsDirName)
 	if entries, err := s.fs.ReadDir(docsDir); err == nil {
 		for _, e := range entries {
-			if !e.IsDir() {
+			if !e.IsDir() || strings.Contains(e.Name(), scrub.QuarantineSuffix) {
 				continue
 			}
 			id := unescapeID(e.Name())
-			st, err := loadSnapshot(s.fs, filepath.Join(docsDir, e.Name()))
+			sub := filepath.Join(docsDir, e.Name())
+			st, err := loadSnapshot(s.fs, sub)
 			if err != nil {
-				return err
+				if !s.cfg.OpenDegraded {
+					return err
+				}
+				// Set the damaged snapshot aside and leave a degraded
+				// placeholder: the segments may still rebuild the
+				// document; if they cannot, reads get ErrDegraded
+				// rather than a silent 404.
+				if _, qerr := scrub.Quarantine(s.fs, sub); qerr != nil {
+					return fmt.Errorf("vstore: %w (and quarantine failed: %w)", err, qerr)
+				}
+				s.recovery.Quarantined++
+				sh.stats.quarantined.Add(1)
+				st = &docState{}
+				s.markDegradedLocked(sh, st, fmt.Sprintf("snapshot quarantined at open: %v", err))
+				sh.docs[id] = st
+				continue
 			}
 			if st != nil {
 				sh.docs[id] = st
@@ -203,8 +226,29 @@ func (s *Store) recoverShard(sh *shard) error {
 	}
 	sort.Ints(seqs)
 	for _, seq := range seqs {
-		if err := s.replaySegment(sh, filepath.Join(sh.dir, segName(seq))); err != nil {
-			return err
+		path := filepath.Join(sh.dir, segName(seq))
+		if err := s.replaySegment(sh, path); err != nil {
+			var ce *store.CorruptError
+			if !s.cfg.OpenDegraded || !errors.As(err, &ce) {
+				return err
+			}
+			// Mid-segment damage in degraded mode: quarantine the file
+			// and keep going. Records already replayed from it stand;
+			// whatever followed the damage is unprovable, so every
+			// document known so far is conservatively degraded (later
+			// segments re-anchor new documents with base records, and
+			// version jumps mark survivors precisely).
+			if _, qerr := scrub.Quarantine(s.fs, path); qerr != nil {
+				return fmt.Errorf("vstore: %w (and quarantine failed: %w)", err, qerr)
+			}
+			s.recovery.Quarantined++
+			sh.stats.quarantined.Add(1)
+			reason := fmt.Sprintf("segment %s quarantined at open: %v", segName(seq), ce.Reason)
+			for _, st := range sh.docs {
+				st.mu.Lock()
+				s.markDegradedLocked(sh, st, reason)
+				st.mu.Unlock()
+			}
 		}
 	}
 	next := 1
@@ -247,7 +291,50 @@ func loadSnapshot(fsys faultfs.FS, sub string) (*docState, error) {
 		}
 		st.deltas = append(st.deltas, dRaw)
 	}
+	if err := verifySums(fsys, sub, st); err != nil {
+		return nil, err
+	}
 	return st, nil
+}
+
+// verifySums checks the loaded snapshot bytes against the checksum
+// manifest, when one exists. The bytes are already in hand, so the
+// check costs one CRC pass — bit rot in a snapshot is caught at open,
+// before a reader can be handed a version built from it. Snapshots
+// written before the manifest existed (or migrated from the
+// per-document layout) have no sums file and are accepted as before.
+func verifySums(fsys faultfs.FS, sub string, st *docState) error {
+	sumsPath := filepath.Join(sub, sumsName)
+	raw, err := fsys.ReadFile(sumsPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return corruptf(sumsPath, -1, err, "unreadable checksum manifest")
+	}
+	sums, err := parseSums(raw)
+	if err != nil {
+		return corruptf(sumsPath, -1, err, "bad checksum manifest")
+	}
+	check := func(name string, b []byte) error {
+		want, ok := sums[name]
+		if !ok {
+			return corruptf(sumsPath, -1, nil, "manifest has no entry for %s", name)
+		}
+		if got := scrub.Checksum(b); got != want {
+			return corruptf(filepath.Join(sub, name), -1, nil, "checksum mismatch (manifest %08x, computed %08x)", want, got)
+		}
+		return nil
+	}
+	if err := check("v1.xml", st.base); err != nil {
+		return err
+	}
+	for v := 1; v < st.versions; v++ {
+		if err := check(deltaFile(v), st.deltas[v-1]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // replaySegment folds one segment's records into the shard's document
@@ -333,6 +420,21 @@ func (s *Store) applyRecord(sh *shard, path string, off int64, kind byte, id str
 		return nil
 	case recordDelta:
 		if st == nil || st.versions == 0 {
+			if s.cfg.OpenDegraded {
+				// The base this delta builds on was lost with a
+				// quarantined file. The delta alone reconstructs
+				// nothing; keep (or create) a degraded placeholder so
+				// the document answers ErrDegraded, not 404.
+				if st == nil {
+					st = &docState{}
+					sh.docs[id] = st
+				}
+				st.mu.Lock()
+				s.markDegradedLocked(sh, st, fmt.Sprintf("delta record v%d in %s has no surviving base", version, filepath.Base(path)))
+				st.mu.Unlock()
+				s.recovery.JournalSkipped++
+				return nil
+			}
 			return corruptf(path, off, nil, "delta record for %q version %d but no base version", id, version)
 		}
 		if version <= st.versions {
@@ -340,6 +442,17 @@ func (s *Store) applyRecord(sh *shard, path string, off int64, kind byte, id str
 			return nil
 		}
 		if version != st.versions+1 {
+			if s.cfg.OpenDegraded {
+				// Versions between st.versions and this record were in
+				// a quarantined file; the chain ends at the last intact
+				// version and later records for the document are
+				// unappliable.
+				st.mu.Lock()
+				s.markDegradedLocked(sh, st, fmt.Sprintf("versions %d..%d lost to a quarantined file", st.versions+1, version-1))
+				st.mu.Unlock()
+				s.recovery.JournalSkipped++
+				return nil
+			}
 			return corruptf(path, off, nil, "record for %q jumps to version %d after %d", id, version, st.versions)
 		}
 		st.deltas = append(st.deltas, append([]byte(nil), body...))

@@ -12,6 +12,17 @@ type engineCounters struct {
 	checkpoints            atomic.Int64
 	compactions            atomic.Int64
 	compactNanos           atomic.Int64
+
+	// Scrub cycle accounting, cumulative across background and manual
+	// passes.
+	scrubCycles      atomic.Int64
+	scrubBytes       atomic.Int64
+	scrubRecords     atomic.Int64
+	scrubFound       atomic.Int64
+	scrubRepaired    atomic.Int64
+	scrubQuarantined atomic.Int64
+	scrubLastUnix    atomic.Int64
+	scrubLastNanos   atomic.Int64
 }
 
 // shardCounters are one shard's lock-free durability counters.
@@ -23,6 +34,8 @@ type shardCounters struct {
 	batchRecords  atomic.Int64 // records across all group commits
 	maxBatch      atomic.Int64 // largest batch committed so far
 	rejected      atomic.Int64 // Puts shed with ErrBusy
+	quarantined   atomic.Int64 // files the scrubber (or recovery) set aside
+	degraded      atomic.Int64 // documents currently serving degraded
 }
 
 // DurabilityStats aggregates every shard's counters into the same
@@ -64,6 +77,36 @@ type ShardStats struct {
 	MaxBatch     int64
 	// Rejected is how many Puts were shed with ErrBusy.
 	Rejected int64
+	// SealedSegments is how many on-disk segments await compaction; a
+	// steadily growing count with an old LastCompactUnix means the
+	// compactor is stuck.
+	SealedSegments int
+	// LastCompactUnix is when the shard last completed a compaction
+	// pass (unix seconds; 0 = none this run).
+	LastCompactUnix int64
+	// Quarantined counts corrupt files the scrubber set aside for this
+	// shard; DegradedDocs how many of its documents serve degraded.
+	Quarantined  int64
+	DegradedDocs int64
+}
+
+// ScrubStats is the integrity scrubber's cumulative accounting,
+// surfaced in /healthz and as xydiffd_scrub_* metrics.
+type ScrubStats struct {
+	// Cycles counts completed scrub passes (background and manual).
+	Cycles int64
+	// BytesScanned and RecordsVerified are cumulative verification
+	// volume.
+	BytesScanned    int64
+	RecordsVerified int64
+	// Found/Repaired/Quarantined count corruptions by outcome.
+	Found       int64
+	Repaired    int64
+	Quarantined int64
+	// LastUnix is when the last pass finished (unix seconds; 0 = no
+	// pass yet); LastSeconds its duration.
+	LastUnix    int64
+	LastSeconds float64
 }
 
 // StorageStats is the engine-level view the daemon surfaces in
@@ -97,6 +140,15 @@ type StorageStats struct {
 	// included); CompactionSeconds is their cumulative duration.
 	Compactions       int64
 	CompactionSeconds float64
+	// SealedSegments is how many on-disk segments await compaction
+	// across all shards.
+	SealedSegments int
+	// DegradedDocs is how many documents currently serve degraded;
+	// Quarantined how many corrupt files are set aside on disk.
+	DegradedDocs int64
+	Quarantined  int64
+	// Scrub is the integrity scrubber's cumulative accounting.
+	Scrub ScrubStats
 	// PerShard has one entry per shard, in shard order.
 	PerShard []ShardStats
 }
@@ -131,22 +183,36 @@ func (s *Store) StorageStats() StorageStats {
 		CacheCap:          s.cfg.CacheSize,
 		Compactions:       s.stats.compactions.Load(),
 		CompactionSeconds: float64(s.stats.compactNanos.Load()) / 1e9,
+		Scrub: ScrubStats{
+			Cycles:          s.stats.scrubCycles.Load(),
+			BytesScanned:    s.stats.scrubBytes.Load(),
+			RecordsVerified: s.stats.scrubRecords.Load(),
+			Found:           s.stats.scrubFound.Load(),
+			Repaired:        s.stats.scrubRepaired.Load(),
+			Quarantined:     s.stats.scrubQuarantined.Load(),
+			LastUnix:        s.stats.scrubLastUnix.Load(),
+			LastSeconds:     float64(s.stats.scrubLastNanos.Load()) / 1e9,
+		},
 	}
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		docs := len(sh.docs)
 		sh.mu.RUnlock()
 		ss := ShardStats{
-			Shard:         sh.idx,
-			Docs:          docs,
-			Segments:      len(sh.segmentsOnDisk(s.fs)),
-			Appends:       sh.stats.appends.Load(),
-			AppendedBytes: sh.stats.appendedBytes.Load(),
-			Syncs:         sh.stats.syncs.Load(),
-			Batches:       sh.stats.batches.Load(),
-			BatchRecords:  sh.stats.batchRecords.Load(),
-			MaxBatch:      sh.stats.maxBatch.Load(),
-			Rejected:      sh.stats.rejected.Load(),
+			Shard:           sh.idx,
+			Docs:            docs,
+			Segments:        len(sh.segmentsOnDisk(s.fs)),
+			Appends:         sh.stats.appends.Load(),
+			AppendedBytes:   sh.stats.appendedBytes.Load(),
+			Syncs:           sh.stats.syncs.Load(),
+			Batches:         sh.stats.batches.Load(),
+			BatchRecords:    sh.stats.batchRecords.Load(),
+			MaxBatch:        sh.stats.maxBatch.Load(),
+			Rejected:        sh.stats.rejected.Load(),
+			SealedSegments:  len(s.sealedSegments(sh)),
+			LastCompactUnix: sh.lastCompact.Load(),
+			Quarantined:     sh.stats.quarantined.Load(),
+			DegradedDocs:    sh.stats.degraded.Load(),
 		}
 		out.Documents += ss.Docs
 		out.Segments += ss.Segments
@@ -154,6 +220,9 @@ func (s *Store) StorageStats() StorageStats {
 		out.Batches += ss.Batches
 		out.BatchRecords += ss.BatchRecords
 		out.Rejected += ss.Rejected
+		out.SealedSegments += ss.SealedSegments
+		out.DegradedDocs += ss.DegradedDocs
+		out.Quarantined += ss.Quarantined
 		if ss.MaxBatch > out.MaxBatch {
 			out.MaxBatch = ss.MaxBatch
 		}

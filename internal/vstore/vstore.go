@@ -50,6 +50,7 @@ import (
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 	"xydiff/internal/faultfs"
+	"xydiff/internal/scrub"
 	"xydiff/internal/store"
 	"xydiff/internal/xid"
 )
@@ -90,9 +91,32 @@ type Config struct {
 	// has this many sealed segments; 0 picks the default 8, negative
 	// disables background compaction (Checkpoint still works).
 	CompactSegments int
+	// Scrub configures the background integrity scrubber; the zero
+	// value disables the timer (ScrubPass still runs on demand).
+	Scrub ScrubConfig
+	// OpenDegraded tolerates corrupt files at open instead of refusing:
+	// damage is quarantined (renamed aside, never deleted) and the
+	// affected documents serve their latest intact version flagged with
+	// ErrDegraded. The default false keeps the strict contract — a
+	// library caller must opt in to partial data.
+	OpenDegraded bool
 	// FS overrides the filesystem (fault-injection tests); nil means
 	// the real one.
 	FS faultfs.FS
+}
+
+// ScrubConfig tunes the background scrubber (see internal/scrub).
+type ScrubConfig struct {
+	// Interval is the pause between integrity cycles; 0 or negative
+	// disables the background timer.
+	Interval time.Duration
+	// Throttle caps scrub reads in bytes per second; 0 picks
+	// scrub.DefaultThrottle (8 MiB/s), negative disables pacing.
+	Throttle int64
+	// NoRepair stops the scrubber from rewriting damage it could cover
+	// from resident data: every finding is quarantined instead. The
+	// zero value (repair on) is the production default.
+	NoRepair bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +172,8 @@ type Store struct {
 	compactCh   chan struct{}
 	compactDone chan struct{}
 
+	scrubber *scrub.Runner
+
 	stats    engineCounters
 	recovery store.RecoveryStats
 }
@@ -164,6 +190,12 @@ type docState struct {
 	// snapVersions is how many versions the on-disk snapshot covers
 	// (0 when the document has never been compacted).
 	snapVersions int
+	// degraded marks a document with a quarantined slice of history:
+	// versions 1..versions are intact and keep serving, anything beyond
+	// answers with ErrDegraded instead of a 404 or a 500. Puts keep
+	// working, extending the intact chain.
+	degraded       bool
+	degradedReason string
 }
 
 // shard owns one slice of the document space: its documents, its
@@ -182,7 +214,12 @@ type shard struct {
 	commitCh   chan *commitReq
 	writerDone chan struct{}
 
-	compactMu sync.Mutex // serializes Checkpoint with background compaction
+	compactMu sync.Mutex // serializes Checkpoint, background compaction and scrub repair
+
+	// lastCompact is when the shard last completed a compaction pass
+	// (unix seconds; 0 = not yet this run). Surfaced in /healthz so a
+	// stuck compactLoop is visible.
+	lastCompact atomic.Int64
 
 	stats shardCounters
 	// inflight counts Puts between submission intent and
@@ -329,6 +366,11 @@ func (s *Store) reading(id string) (*docState, error) {
 	}
 	st.mu.RLock()
 	if st.versions == 0 {
+		if st.degraded {
+			err := &DegradedError{ID: id, Reason: st.degradedReason}
+			st.mu.RUnlock()
+			return nil, err
+		}
 		st.mu.RUnlock()
 		return nil, fmt.Errorf("vstore: %w %q", store.ErrUnknownDocument, id)
 	}
@@ -393,6 +435,9 @@ func (s *Store) Version(id string, n int) (*dom.Node, error) {
 		return nil, err
 	}
 	defer st.mu.RUnlock()
+	if n > st.versions && st.degraded {
+		return nil, &DegradedError{ID: id, Reason: st.degradedReason, Intact: st.versions}
+	}
 	if n < 1 || n > st.versions {
 		return nil, fmt.Errorf("vstore: %s has versions 1..%d, not %d: %w", id, st.versions, n, store.ErrNoSuchVersion)
 	}
@@ -420,6 +465,9 @@ func (s *Store) Delta(id string, n int) (*delta.Delta, error) {
 		return nil, err
 	}
 	defer st.mu.RUnlock()
+	if n >= st.versions && st.degraded {
+		return nil, &DegradedError{ID: id, Reason: st.degradedReason, Intact: st.versions}
+	}
 	if n < 1 || n >= st.versions {
 		return nil, fmt.Errorf("vstore: %s has deltas 1..%d, not %d: %w", id, st.versions-1, n, store.ErrNoSuchVersion)
 	}
@@ -435,6 +483,9 @@ func (s *Store) DeltasBetween(id string, from, to int) ([]*delta.Delta, error) {
 		return nil, err
 	}
 	defer st.mu.RUnlock()
+	if (from > st.versions || to > st.versions) && st.degraded {
+		return nil, &DegradedError{ID: id, Reason: st.degradedReason, Intact: st.versions}
+	}
 	if from < 1 || from > st.versions || to < 1 || to > st.versions {
 		return nil, fmt.Errorf("vstore: version range %d..%d outside 1..%d: %w", from, to, st.versions, store.ErrNoSuchVersion)
 	}
@@ -494,6 +545,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.scrubber != nil {
+		s.scrubber.Stop()
+	}
 	if s.stopSync != nil {
 		close(s.stopSync)
 		<-s.syncDone

@@ -12,7 +12,10 @@
 #   5. fuzz smoke  every fuzzer briefly (FUZZTIME, default 10s)
 #   6. load smoke  storage load harness: 64 concurrent writers must
 #                  amortize to < 0.1 fsyncs per acknowledged Put
-#   7. bench smoke quick bench5 + bench6 runs compared against the
+#   7. scrub smoke  bit-rot round-trip: a flipped bit in a sealed
+#                  segment is detected and repaired byte-identically
+#                  in one scrub cycle
+#   8. bench smoke quick bench5 + bench6 runs compared against the
 #                  committed BENCH_5.json / BENCH_6.json with coarse
 #                  tolerances (3x time, 1.5x allocations, +0.15 quality
 #                  ratio, identical deltas, 3x fsyncs-per-Put)
@@ -47,6 +50,10 @@ $GO test ./internal/diff -run '^$' -fuzz '^FuzzDiffApply$' -fuzztime "$FUZZTIME"
 
 echo "==> load smoke"
 $GO run ./cmd/xyload -assert-fsync-ratio 0.1
+
+echo "==> scrub smoke"
+$GO test ./internal/vstore -run '^TestScrubRepairsCorruptSealedSegment$' -count=1
+$GO test ./cmd/xystore -run '^TestScrubCommand' -count=1
 
 echo "==> bench smoke"
 ./scripts/benchdiff.sh -quick
