@@ -29,6 +29,7 @@ import (
 
 	"xydiff/internal/changesim"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 )
 
 func main() {
@@ -64,7 +65,7 @@ func run(in, gen string, size int, pdel, pupd, pins, pmov float64, seed int64, o
 	var doc *dom.Node
 	var err error
 	if in != "" {
-		doc, err = dom.ParseFile(in)
+		doc, err = domio.ParseFile(in)
 		if err != nil {
 			return err
 		}
@@ -92,11 +93,11 @@ func run(in, gen string, size int, pdel, pupd, pins, pmov float64, seed int64, o
 	fmt.Fprintf(os.Stderr, "simulated: %s (perfect delta: %s, %d bytes)\n",
 		res.Stats, res.Perfect.Count(), res.Perfect.Size())
 	if outOld != "" {
-		if err := dom.WriteFile(outOld, doc); err != nil {
+		if err := domio.WriteFile(outOld, doc); err != nil {
 			return err
 		}
 	}
-	if err := dom.WriteFile(outNew, res.New); err != nil {
+	if err := domio.WriteFile(outNew, res.New); err != nil {
 		return err
 	}
 	f, err := os.Create(outDelta)

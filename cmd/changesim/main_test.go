@@ -8,6 +8,7 @@ import (
 
 	"xydiff/internal/delta"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 )
 
 func TestRunGeneratesAndSimulates(t *testing.T) {
@@ -18,11 +19,11 @@ func TestRunGeneratesAndSimulates(t *testing.T) {
 	if err := run("", "catalog", 4000, 0.1, 0.1, 0.1, 0.1, 7, oldPath, newPath, deltaPath); err != nil {
 		t.Fatal(err)
 	}
-	oldDoc, err := dom.ParseFile(oldPath)
+	oldDoc, err := domio.ParseFile(oldPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	newDoc, err := dom.ParseFile(newPath)
+	newDoc, err := domio.ParseFile(newPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRunAllGenerators(t *testing.T) {
 		if err := run("", gen, 2000, 0.05, 0.05, 0.05, 0.05, 3, "", newPath, deltaPath); err != nil {
 			t.Fatalf("%s: %v", gen, err)
 		}
-		if _, err := dom.ParseFile(newPath); err != nil {
+		if _, err := domio.ParseFile(newPath); err != nil {
 			t.Fatalf("%s output: %v", gen, err)
 		}
 	}

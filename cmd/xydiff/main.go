@@ -27,6 +27,7 @@ import (
 	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 	"xydiff/internal/dtd"
 	"xydiff/internal/htmlize"
 )
@@ -110,7 +111,7 @@ func run(oldPath, newPath, outPath, ids string, noIDs, html, stats, verify bool)
 
 func loadDoc(path string, html bool) (*dom.Node, error) {
 	if !html {
-		return dom.ParseFile(path)
+		return domio.ParseFile(path)
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {

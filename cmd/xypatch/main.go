@@ -31,6 +31,7 @@ import (
 
 	"xydiff/internal/delta"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 	"xydiff/internal/xid"
 )
 
@@ -53,7 +54,7 @@ func main() {
 }
 
 func run(docPath, deltaPath, outPath string, reverse bool) error {
-	doc, err := dom.ParseFile(docPath)
+	doc, err := domio.ParseFile(docPath)
 	if err != nil {
 		return err
 	}
@@ -87,7 +88,7 @@ func run(docPath, deltaPath, outPath string, reverse bool) error {
 		_, err := fmt.Fprintln(os.Stdout)
 		return err
 	}
-	if err := dom.WriteFile(outPath, doc); err != nil {
+	if err := domio.WriteFile(outPath, doc); err != nil {
 		return err
 	}
 	// Record the result's XID layout so the next patch (or a reverse

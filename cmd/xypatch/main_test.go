@@ -8,6 +8,7 @@ import (
 
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 )
 
 // prepare diffs two documents and writes old.xml and delta.xml.
@@ -26,7 +27,7 @@ func prepare(t *testing.T, dir, oldXML, newXML string) (oldPath, deltaPath strin
 		t.Fatal(err)
 	}
 	oldPath = filepath.Join(dir, "old.xml")
-	if err := dom.WriteFile(oldPath, oldDoc); err != nil {
+	if err := domio.WriteFile(oldPath, oldDoc); err != nil {
 		t.Fatal(err)
 	}
 	deltaPath = filepath.Join(dir, "delta.xml")
@@ -45,7 +46,7 @@ func TestPatchForwardAndReverse(t *testing.T) {
 	if err := run(oldPath, deltaPath, patched, false); err != nil {
 		t.Fatal(err)
 	}
-	got, err := dom.ParseFile(patched)
+	got, err := domio.ParseFile(patched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +61,8 @@ func TestPatchForwardAndReverse(t *testing.T) {
 	if err := run(patched, deltaPath, back, true); err != nil {
 		t.Fatal(err)
 	}
-	orig, _ := dom.ParseFile(oldPath)
-	gotBack, _ := dom.ParseFile(back)
+	orig, _ := domio.ParseFile(oldPath)
+	gotBack, _ := domio.ParseFile(back)
 	if !dom.Equal(gotBack, orig) {
 		t.Fatalf("reverse patch differs: %s", dom.Diagnose(gotBack, orig))
 	}
@@ -80,7 +81,7 @@ func TestPatchChain(t *testing.T) {
 	}
 	// Second delta computed against the sidecar-consistent v2: load it
 	// the same way the CLI would.
-	v2doc, err := dom.ParseFile(mid)
+	v2doc, err := domio.ParseFile(mid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestPatchChain(t *testing.T) {
 	if err := run(mid, delta23, out, false); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := dom.ParseFile(out)
+	got, _ := domio.ParseFile(out)
 	want, _ := dom.ParseString(v3)
 	if !dom.Equal(got, want) {
 		t.Fatalf("chained patch differs: %s", dom.Diagnose(got, want))

@@ -41,6 +41,7 @@ import (
 	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 	"xydiff/internal/scrub"
 	"xydiff/internal/store"
 	"xydiff/internal/vstore"
@@ -153,7 +154,7 @@ func exec(s engine, cmd string, rest []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("put needs ID FILE")
 		}
-		doc, err := dom.ParseFile(rest[1])
+		doc, err := domio.ParseFile(rest[1])
 		if err != nil {
 			return err
 		}
@@ -392,10 +393,12 @@ func runScrub(dir string, rest []string) error {
 		if *once || ctx.Err() != nil {
 			return nil
 		}
+		pause := time.NewTimer(*interval)
 		select {
 		case <-ctx.Done():
+			pause.Stop()
 			return nil
-		case <-time.After(*interval):
+		case <-pause.C:
 		}
 	}
 }

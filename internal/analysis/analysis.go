@@ -28,8 +28,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Analyzer is one named invariant check.
@@ -52,11 +55,15 @@ type Pass struct {
 	Pkg      *types.Package
 	// Path is the import path of the package under analysis.
 	Path string
+	// Mod is the module path, so analyzers can reason about
+	// module-relative package layers.
+	Mod string
 	// Info holds the type-checker results for the package. Fields are
 	// always non-nil maps, but entries may be missing when the package
 	// had type errors; analyzers must degrade gracefully.
 	Info *types.Info
 
+	index  *moduleIndex
 	report func(Diagnostic)
 }
 
@@ -67,6 +74,61 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// CalleeDecl resolves the function or method a call invokes to its
+// declaration, when the callee is declared in one of the packages of
+// the current Run. Calls through function values, unresolvable
+// identifiers, and callees outside the analyzed package set return
+// nil; interprocedural analyzers must treat nil as "cannot prove" and
+// stay silent.
+func (p *Pass) CalleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	if p.index == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	return p.index.funcs[obj]
+}
+
+// moduleIndex maps every function and method object declared in the
+// analyzed package set to its declaration, giving analyzers a
+// module-wide (cross-package) view for interprocedural checks like
+// goroleak's spawned-callee resolution.
+type moduleIndex struct {
+	funcs map[types.Object]*ast.FuncDecl
+}
+
+func buildModuleIndex(pkgs []*Package) *moduleIndex {
+	idx := &moduleIndex{funcs: make(map[types.Object]*ast.FuncDecl)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Name == nil {
+					continue
+				}
+				if obj := pkg.Info.Defs[fn.Name]; obj != nil {
+					idx.funcs[obj] = fn
+				}
+			}
+		}
+	}
+	return idx
 }
 
 // TypeOf returns the type of e, or nil when the checker has no entry
@@ -105,31 +167,55 @@ func (d Diagnostic) String() string {
 
 // Run applies every analyzer to every package, filters findings
 // suppressed by //xyvet:allow directives, and returns the rest sorted
-// by position.
+// by position. Packages are analyzed in parallel on up to GOMAXPROCS
+// goroutines — analyzers only read the shared AST and type facts — and
+// the sorted merge keeps the output identical for every worker count.
+// When the StaleAllow analyzer is part of the set, directives that
+// suppressed no finding of the analyzers that ran are themselves
+// reported.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allowed := collectDirectives(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Path:     pkg.Path,
-				Info:     pkg.Info,
-				report: func(d Diagnostic) {
-					if allowed.allows(d.Position, d.Analyzer) {
+	idx := buildModuleIndex(pkgs)
+	running := make(map[string]bool, len(analyzers))
+	stale := false
+	for _, a := range analyzers {
+		running[a.Name] = true
+		if a.Name == StaleAllow.Name {
+			stale = true
+		}
+	}
+	results := make([][]Diagnostic, len(pkgs))
+	runPkg := func(i int) {
+		results[i] = runPackage(pkgs[i], analyzers, idx, running, stale)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers <= 1 {
+		for i := range pkgs {
+			runPkg(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pkgs) {
 						return
 					}
-					d.File = d.Position.Filename
-					d.Line = d.Position.Line
-					d.Column = d.Position.Column
-					diags = append(diags, d)
-				},
-			}
-			a.Run(pass)
+					runPkg(i)
+				}
+			}()
 		}
+		wg.Wait()
+	}
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -147,21 +233,69 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
+// runPackage applies the analyzers to one package. It owns the
+// package's directive table, so the used-tracking behind the stale
+// check never races across packages.
+func runPackage(pkg *Package, analyzers []*Analyzer, idx *moduleIndex, running map[string]bool, stale bool) []Diagnostic {
+	var diags []Diagnostic
+	allowed := collectDirectives(pkg)
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Path:     pkg.Path,
+			Mod:      pkg.Mod,
+			Info:     pkg.Info,
+			index:    idx,
+			report: func(d Diagnostic) {
+				if allowed.allows(d.Position, d.Analyzer) {
+					return
+				}
+				d.File = d.Position.Filename
+				d.Line = d.Position.Line
+				d.Column = d.Position.Column
+				diags = append(diags, d)
+			},
+		}
+		a.Run(pass)
+	}
+	if stale {
+		diags = append(diags, staleFindings(allowed, running)...)
+	}
+	return diags
+}
+
 // directiveKey identifies one source line.
 type directiveKey struct {
 	file string
 	line int
 }
 
-// directives maps source lines to the analyzers allowed there.
-type directives map[directiveKey]map[string]bool
+// directive is one //xyvet:allow comment: the analyzers it names, its
+// own position, and whether it suppressed at least one finding during
+// the run (the stale check reports the ones that did not).
+type directive struct {
+	pos   token.Position
+	names map[string]bool
+	used  bool
+}
+
+// directives maps source lines to the suppression declared there.
+type directives map[directiveKey]*directive
 
 // allows reports whether a finding by analyzer at pos is suppressed: a
-// directive on the same line or the line directly above covers it.
+// directive on the same line or the line directly above covers it. A
+// match marks the directive used.
 func (ds directives) allows(pos token.Position, analyzer string) bool {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names, ok := ds[directiveKey{pos.Filename, line}]; ok {
-			if names["all"] || names[analyzer] {
+		if d, ok := ds[directiveKey{pos.Filename, line}]; ok {
+			if d.names["all"] || d.names[analyzer] {
+				d.used = true
 				return true
 			}
 		}
@@ -186,12 +320,14 @@ func collectDirectives(pkg *Package) directives {
 				names, _, _ := strings.Cut(text, "--")
 				pos := pkg.Fset.Position(c.Pos())
 				key := directiveKey{pos.Filename, pos.Line}
-				if ds[key] == nil {
-					ds[key] = make(map[string]bool)
+				d := ds[key]
+				if d == nil {
+					d = &directive{pos: pos, names: make(map[string]bool)}
+					ds[key] = d
 				}
 				for _, name := range strings.Split(names, ",") {
 					if name = strings.TrimSpace(name); name != "" {
-						ds[key][name] = true
+						d.names[name] = true
 					}
 				}
 			}
@@ -209,5 +345,10 @@ func All() []*Analyzer {
 		ErrWrap,
 		SyncOrder,
 		SegOrder,
+		GoroLeak,
+		PoolBalance,
+		TimerLeak,
+		DepBound,
+		StaleAllow,
 	}
 }

@@ -26,11 +26,24 @@ func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow) }
 func TestErrWrapFixture(t *testing.T)     { runFixture(t, ErrWrap) }
 func TestSyncOrderFixture(t *testing.T)   { runFixture(t, SyncOrder) }
 func TestSegOrderFixture(t *testing.T)    { runFixture(t, SegOrder) }
+func TestGoroLeakFixture(t *testing.T)    { runFixture(t, GoroLeak) }
+func TestPoolBalanceFixture(t *testing.T) { runFixture(t, PoolBalance) }
+func TestTimerLeakFixture(t *testing.T)   { runFixture(t, TimerLeak) }
+func TestDepBoundFixture(t *testing.T)    { runFixture(t, DepBound) }
+
+// The staleallow fixture runs the whole suite: a directive is only
+// provably stale when every analyzer it could have suppressed ran.
+func TestStaleAllowFixture(t *testing.T) { runFixtureSuite(t, StaleAllow.Name, All()) }
 
 func runFixture(t *testing.T, a *Analyzer) {
 	t.Helper()
+	runFixtureSuite(t, a.Name, []*Analyzer{a})
+}
+
+func runFixtureSuite(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
 	t.Parallel()
-	archive := filepath.Join("testdata", a.Name+".txtar")
+	archive := filepath.Join("testdata", name+".txtar")
 	data, err := os.ReadFile(archive)
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +79,7 @@ func runFixture(t *testing.T, a *Analyzer) {
 
 	want := collectWant(t, files, dir)
 	matched := make([]bool, len(want))
-	for _, d := range Run(pkgs, []*Analyzer{a}) {
+	for _, d := range Run(pkgs, analyzers) {
 		found := false
 		for i, w := range want {
 			if matched[i] || w.file != d.File || w.line != d.Line {

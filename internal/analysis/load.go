@@ -17,6 +17,9 @@ import (
 type Package struct {
 	// Path is the import path ("xydiff/internal/store").
 	Path string
+	// Mod is the module path the package belongs to ("xydiff");
+	// analyzers use it to express module-relative layer rules.
+	Mod string
 	// Dir is the directory the sources were read from.
 	Dir  string
 	Fset *token.FileSet
@@ -212,7 +215,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	pkg := &Package{Path: path, Mod: l.ModPath, Dir: dir, Fset: l.fset, Files: files}
 	// Register before checking so import cycles terminate (they
 	// surface as type errors rather than infinite recursion).
 	l.cache[path] = pkg

@@ -101,10 +101,12 @@ func (c *Crawler) fetchCycle(ctx context.Context, id string) {
 			delay = c.cfg.Retry.Clamp(ra.After)
 		}
 		c.log.Debug("crawl retry", "source", id, "attempt", attempt+1, "delay", delay, "err", err)
+		pause := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
+			pause.Stop()
 			return
-		case <-time.After(delay):
+		case <-pause.C:
 		}
 	}
 	if ctx.Err() != nil {

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 )
 
@@ -41,20 +40,6 @@ func Parse(r io.Reader) (*Node, error) {
 // ParseString parses a document held in a string.
 func ParseString(s string) (*Node, error) {
 	return Parse(strings.NewReader(s))
-}
-
-// ParseFile parses the XML document stored at path.
-func ParseFile(path string) (*Node, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	doc, err := Parse(f)
-	if err != nil {
-		return nil, fmt.Errorf("dom: parse %s: %w", path, err)
-	}
-	return doc, nil
 }
 
 // ParseWithOptions reads an XML document from r into a Document tree.

@@ -3,7 +3,6 @@ package dom
 import (
 	"bufio"
 	"io"
-	"os"
 	"strings"
 )
 
@@ -26,19 +25,6 @@ func (n *Node) String() string {
 	cw := &countWriter{w: &b}
 	writeNode(cw, n)
 	return b.String()
-}
-
-// WriteFile serializes the document to path.
-func WriteFile(path string, n *Node) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := n.WriteTo(f); err != nil {
-		_ = f.Close() // the write error is the one to report
-		return err
-	}
-	return f.Close()
 }
 
 type countWriter struct {

@@ -304,10 +304,13 @@ func (p *parser) startTag() (tok, bool) {
 }
 
 // rawUntil consumes raw text until the (case-insensitive) marker and
-// past the following '>'.
+// past the following '>'. The fold is byte-wise ASCII: strings.ToLower
+// would re-encode invalid UTF-8 bytes as the multi-byte replacement
+// rune, so indexes into the lowered copy would not map back to source
+// offsets (a fuzzer-found out-of-bounds on `</sCript` cut off at EOF
+// after non-UTF-8 raw text).
 func (p *parser) rawUntil(marker string) string {
-	low := strings.ToLower(p.src[p.pos:])
-	idx := strings.Index(low, strings.ToLower(marker))
+	idx := asciiIndexFold(p.src[p.pos:], marker)
 	if idx < 0 {
 		out := p.src[p.pos:]
 		p.pos = len(p.src)
@@ -472,6 +475,33 @@ func legalXMLRune(r rune) bool {
 	default:
 		return r <= 0x10FFFF
 	}
+}
+
+// asciiIndexFold reports the first index of substr in s under
+// ASCII-only case folding. Unlike strings.ToLower+Index it never
+// changes byte lengths, so the returned index is a valid offset into s
+// even when s contains invalid UTF-8.
+func asciiIndexFold(s, substr string) int {
+	if len(substr) == 0 {
+		return 0
+	}
+	for i := 0; i+len(substr) <= len(s); i++ {
+		j := 0
+		for j < len(substr) && asciiLower(s[i+j]) == asciiLower(substr[j]) {
+			j++
+		}
+		if j == len(substr) {
+			return i
+		}
+	}
+	return -1
+}
+
+func asciiLower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

@@ -30,6 +30,7 @@ import (
 	"xydiff/internal/delta"
 	"xydiff/internal/diff"
 	"xydiff/internal/dom"
+	"xydiff/internal/dom/domio"
 	"xydiff/internal/htmlize"
 	"xydiff/internal/merge"
 	"xydiff/internal/warehouse"
@@ -60,7 +61,7 @@ func Parse(r io.Reader) (*Node, error) { return dom.Parse(r) }
 func ParseString(s string) (*Node, error) { return dom.ParseString(s) }
 
 // ParseFile parses the XML document stored at path.
-func ParseFile(path string) (*Node, error) { return dom.ParseFile(path) }
+func ParseFile(path string) (*Node, error) { return domio.ParseFile(path) }
 
 // Equal reports whether two trees are isomorphic (attribute order
 // ignored, child order significant).
