@@ -18,16 +18,21 @@
 #                   segment, assert the scrubber detects and repairs it
 #                   byte-identically (and the CLI path quarantines what
 #                   it cannot repair)
-#   8. bench-check — quick bench5 + bench6 runs gated against
-#                   BENCH_5.json / BENCH_6.json (coarse tolerances;
-#                   catches gross perf regressions)
+#   8. match-smoke — SFTM match quality on the id-less changesim HTML
+#                   corpus: absolute precision/recall floors plus
+#                   beating BULD-without-IDs on both axes
+#   9. bench-check — quick bench5 + bench6 + bench7 runs gated against
+#                   BENCH_5.json / BENCH_6.json / BENCH_7.json (coarse
+#                   tolerances; catches gross perf and match-quality
+#                   regressions, and holds SFTM to beating
+#                   BULD-without-IDs on the id-less HTML corpus)
 #
 # scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke scrub-smoke bench-json bench-json6 bench-check server crawl-demo
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke scrub-smoke match-smoke bench-json bench-json6 bench-json7 bench-check server crawl-demo
 
-check: fmt vet build race fuzz-smoke load-smoke scrub-smoke bench-check
+check: fmt vet build race fuzz-smoke load-smoke scrub-smoke match-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -52,15 +57,29 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate the committed benchmark baseline (BENCH_5.json): per-
-# workload ns/op + B/op, delta-quality ratios and the Workers sweep.
-bench-json:
+# Regenerate the committed benchmark baselines for the diff core:
+# BENCH_5.json (per-workload ns/op + B/op, delta-quality ratios, the
+# Workers sweep) and BENCH_7.json (the matcher comparison, via the
+# bench-json7 prerequisite).
+bench-json: bench-json7
 	$(GO) run ./cmd/xybench -json BENCH_5.json bench5
 
 # Regenerate the committed storage-engine baseline (BENCH_6.json):
 # group-commit fsync amortization, latency percentiles, recovery time.
 bench-json6:
 	$(GO) run ./cmd/xybench -json BENCH_6.json bench6
+
+# Match-quality smoke: on the id-less changesim HTML corpus SFTM must
+# hold its absolute precision/recall floors and beat BULD-without-IDs
+# on both axes.
+match-smoke:
+	$(GO) test ./internal/changesim -run '^TestSFTMQualityOnHTMLCorpus$$' -count=1 -v
+
+# Regenerate the committed matcher baseline (BENCH_7.json): SFTM vs
+# BULD-without-IDs precision/recall on the id-less HTML corpus, delta
+# sizes vs the perfect delta, and the SFTM worker sweep.
+bench-json7:
+	$(GO) run ./cmd/xybench -json BENCH_7.json bench7
 
 # Gate fresh quick-mode runs against the committed baselines; see
 # scripts/benchdiff.sh for the tolerances.
@@ -92,6 +111,7 @@ fuzz-smoke:
 	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/diff -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diff -run '^$$' -fuzz '^FuzzSFTMApply$$' -fuzztime $(FUZZTIME)
 
 # Run the change-control daemon locally (data in ./xydiffd-data).
 server:

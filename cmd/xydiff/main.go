@@ -15,6 +15,9 @@
 //	            declarations are honored automatically
 //	-no-ids     ignore ID attributes entirely
 //	-html       treat inputs as HTML and XMLize them first (paper §1)
+//	-matcher m  matching algorithm: buld (the paper's, default) or
+//	            sftm (similarity-based flexible matching for real-web
+//	            HTML without stable IDs)
 //	-verify     re-apply the delta and check it reproduces new.xml
 package main
 
@@ -38,6 +41,7 @@ func main() {
 	ids := flag.String("ids", "", "explicit ID attributes, `elem=attr[,elem=attr...]`")
 	noIDs := flag.Bool("no-ids", false, "disable ID attribute matching")
 	html := flag.Bool("html", false, "XMLize HTML inputs before diffing")
+	matcher := flag.String("matcher", "", "matching `algorithm`: buld (default) or sftm")
 	verify := flag.Bool("verify", false, "verify the delta reproduces the new version")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xydiff [flags] old.xml new.xml\n")
@@ -48,13 +52,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *out, *ids, *noIDs, *html, *stats, *verify); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *out, *ids, *matcher, *noIDs, *html, *stats, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "xydiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, outPath, ids string, noIDs, html, stats, verify bool) error {
+func run(oldPath, newPath, outPath, ids, matcher string, noIDs, html, stats, verify bool) error {
 	oldDoc, err := loadDoc(oldPath, html)
 	if err != nil {
 		return err
@@ -64,6 +68,10 @@ func run(oldPath, newPath, outPath, ids string, noIDs, html, stats, verify bool)
 		return err
 	}
 	opts := diff.Options{DisableIDAttributes: noIDs}
+	opts.Matcher, err = diff.ParseMatcher(matcher)
+	if err != nil {
+		return err
+	}
 	if ids != "" {
 		opts.IDAttrs, err = parseIDFlag(ids)
 		if err != nil {

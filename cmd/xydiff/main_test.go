@@ -21,7 +21,7 @@ func TestRunProducesDelta(t *testing.T) {
 	oldPath := write(t, dir, "old.xml", `<r><a>1</a></r>`)
 	newPath := write(t, dir, "new.xml", `<r><a>2</a></r>`)
 	outPath := filepath.Join(dir, "delta.xml")
-	if err := run(oldPath, newPath, outPath, "", false, false, false, true); err != nil {
+	if err := run(oldPath, newPath, outPath, "", "", false, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 	out, err := os.ReadFile(outPath)
@@ -38,7 +38,7 @@ func TestRunWithExplicitIDs(t *testing.T) {
 	oldPath := write(t, dir, "old.xml", `<r><p id="1">a</p><p id="2">b</p></r>`)
 	newPath := write(t, dir, "new.xml", `<r><p id="2">b</p><p id="1">a</p></r>`)
 	outPath := filepath.Join(dir, "delta.xml")
-	if err := run(oldPath, newPath, outPath, "p=id", false, false, true, true); err != nil {
+	if err := run(oldPath, newPath, outPath, "p=id", "", false, false, true, true); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := os.ReadFile(outPath)
@@ -52,7 +52,7 @@ func TestRunHTMLMode(t *testing.T) {
 	oldPath := write(t, dir, "a.html", `<ul><li>one<li>two</ul>`)
 	newPath := write(t, dir, "b.html", `<ul><li>one<li>three</ul>`)
 	outPath := filepath.Join(dir, "delta.xml")
-	if err := run(oldPath, newPath, outPath, "", false, true, false, true); err != nil {
+	if err := run(oldPath, newPath, outPath, "", "", false, true, false, true); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := os.ReadFile(outPath)
@@ -61,20 +61,37 @@ func TestRunHTMLMode(t *testing.T) {
 	}
 }
 
+func TestRunSFTMMatcher(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "a.html", `<div><h1>News</h1><p>storms reached the coast today</p></div>`)
+	newPath := write(t, dir, "b.html", `<div class="main"><h1>News</h1><p>storms reached the coast today</p></div>`)
+	outPath := filepath.Join(dir, "delta.xml")
+	if err := run(oldPath, newPath, outPath, "", "sftm", false, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(out), "attr-insert") && !strings.Contains(string(out), "class") {
+		t.Errorf("sftm delta = %s", out)
+	}
+	if err := run(oldPath, newPath, "", "", "nonsense", false, true, false, false); err == nil {
+		t.Error("bad -matcher accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	good := write(t, dir, "good.xml", `<r/>`)
 	bad := write(t, dir, "bad.xml", `<r>`)
-	if err := run(bad, good, "", "", false, false, false, false); err == nil {
+	if err := run(bad, good, "", "", "", false, false, false, false); err == nil {
 		t.Error("malformed old accepted")
 	}
-	if err := run(good, bad, "", "", false, false, false, false); err == nil {
+	if err := run(good, bad, "", "", "", false, false, false, false); err == nil {
 		t.Error("malformed new accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.xml"), good, "", "", false, false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.xml"), good, "", "", "", false, false, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(good, good, "", "notvalid", false, false, false, false); err == nil {
+	if err := run(good, good, "", "notvalid", "", false, false, false, false); err == nil {
 		t.Error("bad -ids accepted")
 	}
 }

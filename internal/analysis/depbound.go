@@ -45,7 +45,7 @@ var BoundaryRules = []BoundaryRule{
 		Scope: []string{
 			"internal/dom", "internal/diff", "internal/delta",
 			"internal/dtd", "internal/lcs", "internal/xid",
-			"internal/textdiff", "internal/xpathlite",
+			"internal/textdiff", "internal/xpathlite", "internal/sftm",
 		},
 		Deny:   []string{"os", "syscall", "net"},
 		Reason: "the core diffs io.Reader/io.Writer and in-memory DOMs; keeping it free of platform I/O makes it wasm-clean and embeddable",

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"xydiff/internal/diff"
 )
 
 // Source is one registered acquisition target: a URL polled on the
@@ -21,6 +23,12 @@ type Source struct {
 	ID string `json:"id"`
 	// URL is the polled HTTP(S) location.
 	URL string `json:"url"`
+
+	// Matcher names the diff matcher used for this source's versions
+	// ("buld" or "sftm"; empty = store default). Crawled HTML pages
+	// usually want "sftm": no DTD IDs, unstable attributes, text
+	// rewritten in place.
+	Matcher string `json:"matcher,omitempty"`
 
 	// Interval is the current adaptive revisit interval.
 	Interval time.Duration `json:"interval"`
@@ -105,6 +113,9 @@ func validateSource(s Source) error {
 	}
 	if u.Host == "" {
 		return fmt.Errorf("source %s: url %q has no host", s.ID, s.URL)
+	}
+	if _, err := diff.ParseMatcher(s.Matcher); err != nil {
+		return fmt.Errorf("source %s: %w", s.ID, err)
 	}
 	return nil
 }

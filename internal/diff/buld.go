@@ -28,6 +28,8 @@ type Result struct {
 	Delta   *delta.Delta
 	Timings PhaseTimings
 
+	// Matcher is the algorithm that produced the matching.
+	Matcher Matcher
 	// OldNodes and NewNodes are total node counts (document included).
 	OldNodes, NewNodes int
 	// MatchedNodes counts old nodes that found a counterpart.
@@ -58,7 +60,15 @@ func DiffDetailed(oldDoc, newDoc *dom.Node, opts Options) (*Result, error) {
 	if oldDoc.Type != dom.Document || newDoc.Type != dom.Document {
 		return nil, fmt.Errorf("diff: arguments must be Document nodes (got %v, %v)", oldDoc.Type, newDoc.Type)
 	}
+	switch opts.matcher() {
+	case MatcherBULD:
+	case MatcherSFTM:
+		return diffSFTM(oldDoc, newDoc, opts)
+	default:
+		return nil, fmt.Errorf("diff: unknown matcher %q", opts.Matcher)
+	}
 	var r Result
+	r.Matcher = MatcherBULD
 
 	// Phase 2 first in execution order: the annotation arrays are the
 	// substrate every other phase works on. With more than one worker

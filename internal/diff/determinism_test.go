@@ -37,43 +37,54 @@ func corpusPair(t *testing.T, seed int64, bytes int, rate float64) (*dom.Node, *
 }
 
 // TestDeltaIdenticalAcrossWorkerCounts diffs a seeded changesim corpus
-// at Workers ∈ {1,2,4,8} and requires byte-identical delta XML. The
-// sizes straddle minParallelNodes so both the parallel build and its
-// sequential fallback are exercised.
+// at Workers ∈ {1,2,4,8} and requires byte-identical delta XML, for
+// both matchers: BULD's parallel phases and SFTM's (whose matching is
+// sequential by design, so any divergence means a tree phase leaked
+// scheduling order into the result). The sizes straddle
+// minParallelNodes so both the parallel build and its sequential
+// fallback are exercised; SFTM runs the smaller cases to keep the
+// suite quick.
 func TestDeltaIdenticalAcrossWorkerCounts(t *testing.T) {
 	for _, tc := range []struct {
 		seed  int64
 		bytes int
 		rate  float64
+		sftm  bool
 	}{
-		{1, 4_000, 0.10},
-		{2, 60_000, 0.10},
-		{3, 120_000, 0.05},
-		{4, 200_000, 0.30},
-		{5, 250_000, 0.20},
+		{1, 4_000, 0.10, true},
+		{2, 60_000, 0.10, true},
+		{3, 120_000, 0.05, false},
+		{4, 200_000, 0.30, false},
+		{5, 250_000, 0.20, false},
 	} {
-		t.Run(fmt.Sprintf("seed%d-%dB", tc.seed, tc.bytes), func(t *testing.T) {
-			oldDoc, newDoc := corpusPair(t, tc.seed, tc.bytes, tc.rate)
-			var ref string
-			for _, workers := range []int{1, 2, 4, 8} {
-				d, err := diff.Diff(oldDoc.Clone(), newDoc.Clone(), diff.Options{Workers: workers})
-				if err != nil {
-					t.Fatalf("Workers=%d: %v", workers, err)
+		matchers := []diff.Matcher{diff.MatcherBULD}
+		if tc.sftm {
+			matchers = append(matchers, diff.MatcherSFTM)
+		}
+		for _, matcher := range matchers {
+			t.Run(fmt.Sprintf("seed%d-%dB-%s", tc.seed, tc.bytes, matcher), func(t *testing.T) {
+				oldDoc, newDoc := corpusPair(t, tc.seed, tc.bytes, tc.rate)
+				var ref string
+				for _, workers := range []int{1, 2, 4, 8} {
+					d, err := diff.Diff(oldDoc.Clone(), newDoc.Clone(), diff.Options{Matcher: matcher, Workers: workers})
+					if err != nil {
+						t.Fatalf("Workers=%d: %v", workers, err)
+					}
+					text, err := d.MarshalText()
+					if err != nil {
+						t.Fatalf("Workers=%d: marshal: %v", workers, err)
+					}
+					if workers == 1 {
+						ref = string(text)
+						continue
+					}
+					if string(text) != ref {
+						t.Fatalf("Workers=%d delta differs from Workers=1\nw1: %s\nw%d: %s",
+							workers, ref, workers, text)
+					}
 				}
-				text, err := d.MarshalText()
-				if err != nil {
-					t.Fatalf("Workers=%d: marshal: %v", workers, err)
-				}
-				if workers == 1 {
-					ref = string(text)
-					continue
-				}
-				if string(text) != ref {
-					t.Fatalf("Workers=%d delta differs from Workers=1\nw1: %s\nw%d: %s",
-						workers, ref, workers, text)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

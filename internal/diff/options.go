@@ -19,15 +19,59 @@
 //     paper's windowed heuristic for very long child lists).
 package diff
 
-import "xydiff/internal/dtd"
+import (
+	"fmt"
+
+	"xydiff/internal/dtd"
+)
 
 // DefaultLISWindow is the paper's block length for the intra-parent
 // move heuristic ("a maximum length (e.g. 50)").
 const DefaultLISWindow = 50
 
+// Matcher selects the node-matching algorithm. Every matcher feeds the
+// same Phase 5 delta construction, so the choice changes which nodes
+// correspond — never the delta format, Apply semantics, or storage.
+type Matcher string
+
+const (
+	// MatcherBULD is the paper's matcher: exact subtree signatures,
+	// heaviest-first matching, ID attributes when a DTD declares them.
+	// The default; best for well-formed XML.
+	MatcherBULD Matcher = "buld"
+
+	// MatcherSFTM is the similarity-based flexible matcher (package
+	// sftm): IDF-weighted token overlap with structural propagation.
+	// Built for real-web HTML, where nothing is well-formed, IDs are
+	// absent or unstable, and text is rewritten in place.
+	MatcherSFTM Matcher = "sftm"
+)
+
+// ParseMatcher normalizes a user-supplied matcher name. The empty
+// string selects the default (BULD).
+func ParseMatcher(s string) (Matcher, error) {
+	switch Matcher(s) {
+	case "", MatcherBULD:
+		return MatcherBULD, nil
+	case MatcherSFTM:
+		return MatcherSFTM, nil
+	}
+	return "", fmt.Errorf("diff: unknown matcher %q (want %q or %q)", s, MatcherBULD, MatcherSFTM)
+}
+
+// Matchers lists the valid matcher names, default first.
+func Matchers() []Matcher {
+	return []Matcher{MatcherBULD, MatcherSFTM}
+}
+
 // Options tune the algorithm. The zero value reproduces the paper's
 // configuration.
 type Options struct {
+	// Matcher selects the matching algorithm. Empty selects
+	// MatcherBULD, the paper's algorithm; MatcherSFTM switches to the
+	// similarity-based flexible matcher for real-web HTML.
+	Matcher Matcher
+
 	// IDAttrs declares ID attributes explicitly (element name -> ID
 	// attribute name), in addition to any discovered from the old
 	// document's internal DTD subset.
@@ -103,6 +147,13 @@ func (o Options) passes() int {
 
 func (o Options) workers() int {
 	return defaultWorkers(o.Workers)
+}
+
+func (o Options) matcher() Matcher {
+	if o.Matcher == "" {
+		return MatcherBULD
+	}
+	return o.Matcher
 }
 
 func (o Options) maxCandidates() int {

@@ -1,0 +1,134 @@
+package diff
+
+import (
+	"fmt"
+	"time"
+
+	"xydiff/internal/dom"
+	"xydiff/internal/sftm"
+)
+
+// diffSFTM is the MatcherSFTM arm of DiffDetailed: the sftm package
+// computes the matching, and the result flows through exactly the
+// machinery FromMatching uses — compatibility filter, then the shared
+// Phase 5 delta construction — so deltas, Apply, XID assignment and
+// storage behave identically for both matchers.
+//
+// Timings map onto the BULD phases: Phase2 is tree annotation, Phase3
+// the SFTM pipeline (tokenize/index/propagate/greedy), Phase5 delta
+// construction. Phases 1 and 4 have no SFTM counterpart and stay zero.
+//
+// The SFTM pipeline itself is sequential: Workers only parallelizes
+// tree annotation, which never changes what is computed, so the delta
+// is bit-identical for every worker count — same invariant as BULD.
+func diffSFTM(oldDoc, newDoc *dom.Node, opts Options) (*Result, error) {
+	r := Result{Matcher: MatcherSFTM}
+	workers := opts.workers()
+
+	start := time.Now()
+	var oldT, newT *tree
+	if workers > 1 {
+		trees := [2]**tree{&oldT, &newT}
+		docs := [2]*dom.Node{oldDoc, newDoc}
+		share := [2]int{(workers + 1) / 2, workers / 2}
+		runParallel(2, 2, func(k int) {
+			*trees[k] = newTree(docs[k], share[k], opts.done)
+		})
+	} else {
+		oldT = newTree(oldDoc, 1, opts.done)
+		newT = newTree(newDoc, 1, opts.done)
+	}
+	defer oldT.release()
+	defer newT.release()
+	m := matcherFromPool(oldT, newT, opts, workers)
+	defer m.release()
+	r.Timings.Phase2 = time.Since(start)
+	if opts.canceled() {
+		return nil, errCanceled
+	}
+
+	start = time.Now()
+	pairs, err := sftm.Match(oldDoc, newDoc, sftm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("diff: sftm matcher: %w", err)
+	}
+	m.setMatch(oldT.root(), newT.root())
+	oldIdx := indexOf(oldT)
+	newIdx := indexOf(newT)
+	for o, n := range pairs {
+		oi, ok := oldIdx[o]
+		if !ok {
+			return nil, fmt.Errorf("diff: sftm matching references a node outside the old document")
+		}
+		ni, ok := newIdx[n]
+		if !ok {
+			return nil, fmt.Errorf("diff: sftm matching references a node outside the new document")
+		}
+		if m.compatible(oi, ni) {
+			m.setMatch(oi, ni)
+		}
+	}
+	r.Timings.Phase3 = time.Since(start)
+	if opts.canceled() {
+		return nil, errCanceled
+	}
+
+	start = time.Now()
+	r.Delta = m.buildDelta()
+	r.Timings.Phase5 = time.Since(start)
+
+	r.OldNodes, r.NewNodes = oldT.len(), newT.len()
+	for _, ni := range m.oldToNew {
+		if ni >= 0 {
+			r.MatchedNodes++
+		}
+	}
+	return &r, nil
+}
+
+// Matching runs only the matching stage of the selected matcher and
+// returns the old→new node pairs, documents excluded. The bench7
+// match-quality harness uses it to score precision/recall against
+// changesim's ground-truth correspondences without going through delta
+// construction.
+func Matching(oldDoc, newDoc *dom.Node, opts Options) (map[*dom.Node]*dom.Node, error) {
+	if oldDoc == nil || newDoc == nil {
+		return nil, fmt.Errorf("diff: nil document")
+	}
+	if oldDoc.Type != dom.Document || newDoc.Type != dom.Document {
+		return nil, fmt.Errorf("diff: arguments must be Document nodes")
+	}
+	switch opts.matcher() {
+	case MatcherSFTM:
+		return sftm.Match(oldDoc, newDoc, sftm.Options{})
+	case MatcherBULD:
+	default:
+		return nil, fmt.Errorf("diff: unknown matcher %q", opts.Matcher)
+	}
+
+	workers := opts.workers()
+	oldT := newTree(oldDoc, workers, opts.done)
+	defer oldT.release()
+	newT := newTree(newDoc, workers, opts.done)
+	defer newT.release()
+	m := matcherFromPool(oldT, newT, opts, workers)
+	defer m.release()
+	m.phase1IDs()
+	m.phase3BULD()
+	m.phase4Propagate()
+	if opts.canceled() {
+		return nil, errCanceled
+	}
+	pairs := make(map[*dom.Node]*dom.Node, newT.len())
+	for oi, ni := range m.oldToNew {
+		if ni < 0 {
+			continue
+		}
+		o, n := oldT.nodes[oi], newT.nodes[ni]
+		if o.Type == dom.Document {
+			continue
+		}
+		pairs[o] = n
+	}
+	return pairs, nil
+}

@@ -1,0 +1,152 @@
+package htmlize
+
+import (
+	"strings"
+	"testing"
+
+	"xydiff/internal/dom"
+)
+
+// These tests harden the guarantees the similarity matcher leans on:
+// XMLized pages must serialize deterministically (attribute order
+// stable across parses, so re-crawled pages only differ where the page
+// really changed), and the void/raw-text element rules must hold in
+// every spelling a real crawl encounters.
+
+func TestAttributeOrderPreservedAsWritten(t *testing.T) {
+	doc := xmlize(t, `<a zeta="1" alpha="2" mid="3">x</a>`)
+	a := dom.Select(doc.Root(), "a")
+	if len(a) == 0 {
+		a = []*dom.Node{doc.Root()}
+	}
+	var names []string
+	for _, at := range a[0].Attrs {
+		names = append(names, at.Name)
+	}
+	if got := strings.Join(names, ","); got != "zeta,alpha,mid" {
+		t.Errorf("attribute order = %s, want source order zeta,alpha,mid", got)
+	}
+}
+
+func TestAttributeOrderStableAcrossReparse(t *testing.T) {
+	// parse → serialize → parse → serialize must be a fixed point:
+	// downstream diffs treat attribute order as irrelevant, but stores
+	// and byte-identity checks need the serialization itself stable.
+	cases := []string{
+		`<a z="1" a="2">x</a>`,
+		`<input type=text value='v' checked>`,
+		`<div data-b="2" data-a="1" class="c b a"><span id="s" lang="en">t</span></div>`,
+		`<img srcset="a 1x, b 2x" src="a" alt="">`,
+	}
+	for _, c := range cases {
+		first := Parse(c).String()
+		re, err := dom.ParseString(first)
+		if err != nil {
+			t.Fatalf("Parse(%q) output not well-formed: %v", c, err)
+		}
+		if second := re.String(); second != first {
+			t.Errorf("serialization not a fixed point for %q\nfirst:  %s\nsecond: %s", c, first, second)
+		}
+	}
+}
+
+func TestDuplicateAttributeKeepsFirstPosition(t *testing.T) {
+	// Last value wins (browser rule) but the attribute stays at its
+	// first position, so a repeated attribute cannot shuffle the order
+	// of everything after it.
+	doc := xmlize(t, `<a b="1" c="2" b="3">x</a>`)
+	a := dom.Select(doc.Root(), "a")
+	if len(a) == 0 {
+		a = []*dom.Node{doc.Root()}
+	}
+	if len(a[0].Attrs) != 2 {
+		t.Fatalf("attrs = %v, want 2 entries", a[0].Attrs)
+	}
+	if a[0].Attrs[0].Name != "b" || a[0].Attrs[0].Value != "3" {
+		t.Errorf("attrs[0] = %v, want b=3 (first position, last value)", a[0].Attrs[0])
+	}
+	if a[0].Attrs[1].Name != "c" {
+		t.Errorf("attrs[1] = %v, want c", a[0].Attrs[1])
+	}
+}
+
+func TestEveryVoidElementTakesNoChildren(t *testing.T) {
+	// All 14 void elements, in each spelling: bare, uppercase,
+	// self-closing, with attributes. Following text must land in the
+	// parent, never inside the void element.
+	for name := range voidElements {
+		for _, form := range []string{
+			"<" + name + ">",
+			"<" + strings.ToUpper(name) + ">",
+			"<" + name + "/>",
+			`<` + name + ` data-k="v">`,
+		} {
+			doc := xmlize(t, "<div>before"+form+"after</div>")
+			els := dom.Select(doc.Root(), name)
+			if len(els) != 1 {
+				t.Fatalf("%s via %q: got %d elements: %s", name, form, len(els), doc)
+			}
+			if len(els[0].Children) != 0 {
+				t.Errorf("%s via %q: void element has children: %s", name, form, doc)
+			}
+			if got := doc.Root().TextContent(); got != "beforeafter" {
+				t.Errorf("%s via %q: text = %q, want %q", name, form, got, "beforeafter")
+			}
+		}
+	}
+}
+
+func TestVoidElementEndTagIsDropped(t *testing.T) {
+	// Legacy markup closes void elements explicitly; the stray end tag
+	// must not re-open or split anything.
+	doc := xmlize(t, `<p>a<br></br>b</p>`)
+	if n := len(dom.Select(doc.Root(), "br")); n != 1 {
+		t.Errorf("br count = %d, want 1", n)
+	}
+	if got := doc.Root().TextContent(); got != "ab" {
+		t.Errorf("text = %q, want %q", got, "ab")
+	}
+}
+
+func TestRawTextElements(t *testing.T) {
+	cases := []struct {
+		name, html, want string
+	}{
+		{"style keeps selectors", `<style>a > b { color: red; }</style>`, "a > b { color: red; }"},
+		{"script keeps markup", `<script>document.write("<ul><li>x</li></ul>")</script>`, `document.write("<ul><li>x</li></ul>")`},
+		{"uppercase end tag", `<script>var x = 1;</SCRIPT><p>after</p>`, "var x = 1;"},
+		{"spaced end tag", `<script>var y = 2;</script ><p>after</p>`, "var y = 2;"},
+		{"unterminated swallows to EOF", `<script>tail`, "tail"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc := xmlize(t, c.html)
+			tag := "script"
+			if strings.HasPrefix(c.html, "<style") {
+				tag = "style"
+			}
+			els := dom.Select(doc.Root(), tag)
+			if len(els) == 0 && doc.Root().Name == tag {
+				els = []*dom.Node{doc.Root()}
+			}
+			if len(els) != 1 {
+				t.Fatalf("%d <%s> elements: %s", len(els), tag, doc)
+			}
+			if got := strings.TrimSpace(els[0].TextContent()); got != c.want {
+				t.Errorf("raw text = %q, want %q", got, c.want)
+			}
+		})
+	}
+}
+
+func TestRawTextDoesNotSpawnElements(t *testing.T) {
+	// Markup inside script/style is data: nothing in the raw body may
+	// become an element node.
+	doc := xmlize(t, `<body><script>if (a<b) { el = "<div class='x'><p>"; }</script><div>real</div></body>`)
+	if n := len(dom.Select(doc.Root(), "div")); n != 1 {
+		t.Errorf("div count = %d, want only the real one: %s", n, doc)
+	}
+	if n := len(dom.Select(doc.Root(), "p")); n != 0 {
+		t.Errorf("phantom <p> parsed out of script text: %s", doc)
+	}
+}

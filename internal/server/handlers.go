@@ -13,6 +13,7 @@ import (
 
 	"xydiff/internal/alert"
 	"xydiff/internal/delta"
+	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 	"xydiff/internal/store"
 	"xydiff/internal/vstore"
@@ -329,6 +330,14 @@ func (s *Server) parseOptions() dom.ParseOptions {
 
 func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// ?matcher= overrides the store's configured matcher for this PUT
+	// only (e.g. matcher=sftm for an HTML snapshot of a page that lost
+	// its ids). Absent or empty means the store default.
+	matcher, err := parseMatcherParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	doc, err := dom.ParseWithOptions(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.parseOptions())
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -359,7 +368,7 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	done := make(chan putResult, 1)
 	ctx := r.Context()
 	submitErr := s.pool.submit(func() {
-		v, d, err := s.store.PutContext(ctx, id, doc)
+		v, d, err := s.store.PutMatcherContext(ctx, id, doc, matcher)
 		done <- putResult{version: v, delta: d, err: err}
 	})
 	if submitErr != nil {
@@ -400,6 +409,21 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded waiting for diff")
 	}
+}
+
+// parseMatcherParam reads the optional ?matcher= override. The empty
+// string means "use the store's configured matcher" and is passed
+// through as-is (the store, not the handler, knows its default).
+func parseMatcherParam(r *http.Request) (diff.Matcher, error) {
+	v := r.URL.Query().Get("matcher")
+	if v == "" {
+		return "", nil
+	}
+	m, err := diff.ParseMatcher(v)
+	if err != nil {
+		return "", err
+	}
+	return m, nil
 }
 
 func writeDoc(w http.ResponseWriter, doc *dom.Node, version int) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"xydiff/internal/crawl"
+	"xydiff/internal/diff"
 	"xydiff/internal/dom"
 )
 
@@ -23,9 +24,16 @@ func (s *Server) crawlIngest(ctx context.Context, id string, body []byte) (bool,
 	if err != nil {
 		return false, fmt.Errorf("parse %s: %w", id, err)
 	}
+	// The source's registered matcher (validated at registration time)
+	// rides along: a page-monitoring source diffs with sftm while XML
+	// feeds on the same server keep the default.
+	var matcher diff.Matcher
+	if src, ok := s.crawlReg.Get(id); ok {
+		matcher = diff.Matcher(src.Matcher)
+	}
 	done := make(chan putResult, 1)
 	if err := s.pool.submit(func() {
-		v, d, err := s.store.PutContext(ctx, id, doc)
+		v, d, err := s.store.PutMatcherContext(ctx, id, doc, matcher)
 		done <- putResult{version: v, delta: d, err: err}
 	}); err != nil {
 		return false, err
@@ -47,6 +55,7 @@ func (s *Server) crawlIngest(ctx context.Context, id string, body []byte) (bool,
 type sourceJSON struct {
 	ID          string  `json:"id"`
 	URL         string  `json:"url"`
+	Matcher     string  `json:"matcher,omitempty"`
 	Interval    string  `json:"interval,omitempty"`
 	NextFetch   string  `json:"nextFetch,omitempty"`
 	ETag        string  `json:"etag,omitempty"`
@@ -63,6 +72,7 @@ func toSourceJSON(st crawl.Status) sourceJSON {
 	j := sourceJSON{
 		ID:          st.ID,
 		URL:         st.URL,
+		Matcher:     st.Matcher,
 		ETag:        st.ETag,
 		Fetches:     st.Fetches,
 		NotModified: st.NotModified,
@@ -96,8 +106,9 @@ func (s *Server) handleCreateSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		ID  string `json:"id"`
-		URL string `json:"url"`
+		ID      string `json:"id"`
+		URL     string `json:"url"`
+		Matcher string `json:"matcher"`
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -105,7 +116,7 @@ func (s *Server) handleCreateSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse source: "+err.Error())
 		return
 	}
-	src, err := s.crawler.Add(crawl.Source{ID: req.ID, URL: req.URL})
+	src, err := s.crawler.Add(crawl.Source{ID: req.ID, URL: req.URL, Matcher: req.Matcher})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

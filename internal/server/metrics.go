@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"xydiff/internal/diff"
 )
 
 // Metrics is xydiffd's metrics registry, exposed at /metrics in
@@ -19,7 +21,7 @@ type Metrics struct {
 	mu            sync.Mutex
 	requests      map[reqKey]int64
 	latency       *histogram
-	diffs         int64
+	diffs         map[diff.Matcher]int64
 	phases        [5]time.Duration
 	rejected      int64
 	alerts        int64
@@ -42,6 +44,7 @@ func newMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[reqKey]int64),
 		latency:  newHistogram(),
+		diffs:    make(map[diff.Matcher]int64),
 	}
 }
 
@@ -53,11 +56,15 @@ func (m *Metrics) observeRequest(route, method string, code int, dur time.Durati
 	m.latency.observe(dur.Seconds())
 }
 
-// observeDiff records one completed versioning diff's phase timings.
-func (m *Metrics) observeDiff(phases [5]time.Duration) {
+// observeDiff records one completed versioning diff's phase timings,
+// labeled by the matcher that computed it.
+func (m *Metrics) observeDiff(matcher diff.Matcher, phases [5]time.Duration) {
+	if matcher == "" {
+		matcher = diff.MatcherBULD
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.diffs++
+	m.diffs[matcher]++
 	for i, p := range phases {
 		m.phases[i] += p
 	}
@@ -94,11 +101,23 @@ func (m *Metrics) StreamDropped() int64 {
 	return m.streamDropped
 }
 
-// DiffCount returns how many versioning diffs have been recorded.
+// DiffCount returns how many versioning diffs have been recorded,
+// summed over matchers.
 func (m *Metrics) DiffCount() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.diffs
+	var total int64
+	for _, n := range m.diffs {
+		total += n
+	}
+	return total
+}
+
+// DiffCountByMatcher returns how many diffs the given matcher computed.
+func (m *Metrics) DiffCountByMatcher(matcher diff.Matcher) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.diffs[matcher]
 }
 
 var phaseNames = [5]string{"ids", "annotate", "buld", "propagate", "construct"}
@@ -136,9 +155,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "xydiffd_http_request_seconds{quantile=\"%g\"} %g\n", q, m.latency.quantile(q))
 	}
 
-	fmt.Fprintln(w, "# HELP xydiffd_diffs_total Versioning diffs computed.")
+	fmt.Fprintln(w, "# HELP xydiffd_diffs_total Versioning diffs computed, by matcher.")
 	fmt.Fprintln(w, "# TYPE xydiffd_diffs_total counter")
-	fmt.Fprintf(w, "xydiffd_diffs_total %d\n", m.diffs)
+	// Both known matchers are always emitted (zero included), so a
+	// dashboard sees the series exist before the first sftm PUT.
+	for _, matcher := range diff.Matchers() {
+		fmt.Fprintf(w, "xydiffd_diffs_total{matcher=%q} %d\n", matcher, m.diffs[matcher])
+	}
 	fmt.Fprintln(w, "# HELP xydiffd_diff_phase_seconds_total Cumulative BULD phase time.")
 	fmt.Fprintln(w, "# TYPE xydiffd_diff_phase_seconds_total counter")
 	for i, name := range phaseNames {

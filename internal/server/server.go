@@ -37,6 +37,7 @@ import (
 // storageStatser capability.
 type Store interface {
 	PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error)
+	PutMatcherContext(ctx context.Context, id string, doc *dom.Node, matcher diff.Matcher) (int, *delta.Delta, error)
 	Latest(id string) (*dom.Node, int, error)
 	Version(id string, n int) (*dom.Node, error)
 	Versions(id string) int
@@ -188,7 +189,7 @@ func (s *Server) Close() { s.pool.close() }
 // observe is the store's observer hook: it runs under the document's
 // write lock, in version order, once per successful versioning diff.
 func (s *Server) observe(id string, version int, oldDoc, newDoc *dom.Node, r *diff.Result) {
-	s.metrics.observeDiff([5]time.Duration{
+	s.metrics.observeDiff(r.Matcher, [5]time.Duration{
 		r.Timings.Phase1, r.Timings.Phase2, r.Timings.Phase3, r.Timings.Phase4, r.Timings.Phase5,
 	})
 	s.collector.Observe(oldDoc, newDoc, r.Delta)

@@ -152,7 +152,8 @@ func TestEndToEnd(t *testing.T) {
 	}
 	for _, re := range []string{
 		`xydiffd_http_requests_total\{route="doc_put",method="PUT",code="200"\} [1-9]`,
-		`xydiffd_diffs_total [1-9]`,
+		`xydiffd_diffs_total\{matcher="buld"\} [1-9]`,
+		`xydiffd_diffs_total\{matcher="sftm"\} 0`,
 		`xydiffd_diff_phase_seconds_total\{phase="buld"\} `,
 		`xydiffd_change_ops_total\{kind="insert"\} [1-9]`,
 		`xydiffd_alerts_total [1-9]`,

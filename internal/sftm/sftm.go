@@ -1,0 +1,266 @@
+// Package sftm implements SFTM — Similarity-based Flexible Tree
+// Matching (Brisset & Pawlak, PAPERS.md) — an ID-free matcher for
+// real-web documents. Where BULD (package diff) identifies subtrees by
+// exact signatures and DTD-declared ID attributes, SFTM scores node
+// pairs by the tokens they share (labels, attributes, text shingles),
+// weighted by inverse document frequency, and settles the matching
+// greedily with a structural penalty. Crawled HTML has no XIDs, no DTD
+// and rarely stable id attributes; token similarity still recognizes a
+// product card whose price changed or a heading wrapped in a fresh div.
+//
+// The pipeline follows the paper:
+//
+//  1. tokenize every node (tag, attribute names and values, class
+//     tokens, text word uni/bigrams);
+//  2. build an inverted index over the old document's tokens and prune
+//     over-frequent tokens (they carry no signal and would make
+//     scoring quadratic);
+//  3. for each new node, accumulate IDF-weighted overlap scores over
+//     the index and keep the top-k label-compatible candidates;
+//  4. propagate similarity through the structure: a candidate pair is
+//     boosted when the nodes' parents and children look alike too;
+//  5. match greedily, best score first, applying a penalty when a
+//     pair's parents are already matched to different nodes (lazy
+//     re-scoring keeps the greedy order correct); a final top-down
+//     pass adopts unique unmatched children of matched pairs.
+//
+// The output is the matching representation diff.FromMatching consumes,
+// so delta construction, Apply and storage are untouched. The package
+// is part of the wasm-clean diff core: it imports nothing but the
+// standard library and internal/dom (enforced by the depbound
+// analyzer).
+//
+// Everything is deterministic: no map iteration order reaches the
+// result, so the same inputs produce the same matching — and therefore
+// the same delta — on every run and worker count.
+package sftm
+
+import (
+	"fmt"
+	"math"
+
+	"xydiff/internal/dom"
+)
+
+// Options tune the matcher. The zero value selects the defaults the
+// bench7 experiment was calibrated with.
+type Options struct {
+	// TopK bounds the candidates kept per new node (default 16).
+	TopK int
+
+	// MaxPostings prunes tokens whose old-document posting list is
+	// longer (stop tokens: shared by too many nodes to discriminate,
+	// and the paper's guard against quadratic scoring). Default 64.
+	MaxPostings int
+
+	// MinScore is the acceptance floor: candidate pairs whose final
+	// (penalty-adjusted) score falls below it stay unmatched and
+	// surface as delete+insert in the delta. Default 0.30.
+	MinScore float64
+
+	// MinBase is the content-evidence floor for the greedy pass: pairs
+	// whose raw token similarity (before propagation) falls below it
+	// are never matched greedily, no matter how much structural support
+	// they have — a fully rewritten node should be adopted by sibling
+	// position under its matched parent, not claimed by a look-alike
+	// across the page. Default 0.30.
+	MinBase float64
+
+	// Propagation scales the structural bonus a candidate pair earns
+	// from similar parents, children and adjacent siblings (default
+	// 0.5).
+	Propagation float64
+
+	// Penalty is the multiplicative score reduction applied to a pair
+	// whose parents are already matched to different nodes (default
+	// 0.60). Higher values favor structure over content.
+	Penalty float64
+}
+
+func (o Options) topK() int {
+	if o.TopK <= 0 {
+		return 16
+	}
+	return o.TopK
+}
+
+func (o Options) maxPostings() int {
+	if o.MaxPostings <= 0 {
+		return 64
+	}
+	return o.MaxPostings
+}
+
+func (o Options) minScore() float64 {
+	if o.MinScore <= 0 {
+		return 0.30
+	}
+	return o.MinScore
+}
+
+func (o Options) minBase() float64 {
+	if o.MinBase <= 0 {
+		return 0.30
+	}
+	return o.MinBase
+}
+
+func (o Options) propagation() float64 {
+	if o.Propagation <= 0 {
+		return 0.5
+	}
+	return o.Propagation
+}
+
+func (o Options) penalty() float64 {
+	if o.Penalty <= 0 {
+		return 0.60
+	}
+	return o.Penalty
+}
+
+// Stats describes one matching run.
+type Stats struct {
+	// OldNodes and NewNodes are node counts excluding the documents.
+	OldNodes, NewNodes int
+	// Matched is how many old nodes found a counterpart.
+	Matched int
+	// Candidates is the total candidate pairs scored.
+	Candidates int
+	// StopTokens is how many distinct tokens the frequency cutoff
+	// pruned from the index.
+	StopTokens int
+}
+
+// Match computes an old→new node matching between two documents. Both
+// arguments must be Document nodes; the documents themselves are never
+// in the returned map (diff.FromMatching pairs them structurally).
+func Match(oldDoc, newDoc *dom.Node, opts Options) (map[*dom.Node]*dom.Node, error) {
+	pairs, _, err := MatchDetailed(oldDoc, newDoc, opts)
+	return pairs, err
+}
+
+// MatchDetailed is Match plus run statistics.
+func MatchDetailed(oldDoc, newDoc *dom.Node, opts Options) (map[*dom.Node]*dom.Node, Stats, error) {
+	var st Stats
+	if oldDoc == nil || newDoc == nil {
+		return nil, st, fmt.Errorf("sftm: nil document")
+	}
+	if oldDoc.Type != dom.Document || newDoc.Type != dom.Document {
+		return nil, st, fmt.Errorf("sftm: arguments must be Document nodes (got %v, %v)", oldDoc.Type, newDoc.Type)
+	}
+	oldT := flatten(oldDoc)
+	newT := flatten(newDoc)
+	st.OldNodes, st.NewNodes = oldT.len()-1, newT.len()-1
+
+	m := &matcher{old: oldT, new: newT, opts: opts}
+	m.tokenize()
+	m.buildIndex()
+	st.StopTokens = m.stopTokens
+	m.selectCandidates()
+	st.Candidates = m.candidateCount
+	m.propagate()
+	m.matchGreedy()
+	m.adoptUniqueChildren()
+
+	pairs := make(map[*dom.Node]*dom.Node, newT.len())
+	for oi, ni := range m.oldToNew {
+		if oi == 0 || ni < 0 {
+			continue // documents are FromMatching's job
+		}
+		pairs[oldT.nodes[oi]] = newT.nodes[ni]
+		st.Matched++
+	}
+	return pairs, st, nil
+}
+
+// flatTree is the pre-order array form of one document. In pre-order
+// every descendant has a higher index than its ancestor, so a reverse
+// scan is a valid bottom-up order — the propagation passes rely on
+// both directions.
+type flatTree struct {
+	nodes    []*dom.Node
+	parent   []int32 // pre-order parent index, -1 for the document
+	kidStart []int32 // offset of node i's children block in kids
+	kidEnd   []int32
+	kids     []int32
+}
+
+func (t *flatTree) len() int { return len(t.nodes) }
+
+func (t *flatTree) children(i int) []int32 {
+	return t.kids[t.kidStart[i]:t.kidEnd[i]]
+}
+
+// flatten builds the pre-order arrays without recursion (crawled pages
+// can nest deeply; an explicit stack keeps the goroutine stack flat).
+// Children blocks are laid out by a counting sort over parent indices,
+// so each node's children are contiguous and in document order.
+func flatten(doc *dom.Node) *flatTree {
+	n := doc.Size()
+	t := &flatTree{
+		nodes:    make([]*dom.Node, 0, n),
+		parent:   make([]int32, 0, n),
+		kidStart: make([]int32, n),
+		kidEnd:   make([]int32, n),
+	}
+	type frame struct {
+		node   *dom.Node
+		parent int32
+	}
+	stack := []frame{{doc, -1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		idx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, f.node)
+		t.parent = append(t.parent, f.parent)
+		// Reverse push so children pop — and number — in document order.
+		for i := len(f.node.Children) - 1; i >= 0; i-- {
+			stack = append(stack, frame{f.node.Children[i], idx})
+		}
+	}
+	counts := make([]int32, len(t.nodes))
+	for _, p := range t.parent {
+		if p >= 0 {
+			counts[p]++
+		}
+	}
+	var off int32
+	for i := range t.nodes {
+		t.kidStart[i] = off
+		t.kidEnd[i] = off // filled below
+		off += counts[i]
+	}
+	if off > 0 {
+		t.kids = make([]int32, off)
+	}
+	for i := 1; i < len(t.nodes); i++ {
+		p := t.parent[i]
+		t.kids[t.kidEnd[p]] = int32(i)
+		t.kidEnd[p]++
+	}
+	return t
+}
+
+// compatible reports whether an old/new pair could survive
+// diff.FromMatching's structural filter: same type and, for elements
+// and processing instructions, same label.
+func compatible(o, n *dom.Node) bool {
+	if o.Type != n.Type {
+		return false
+	}
+	if o.Type == dom.Element || o.Type == dom.ProcInst {
+		return o.Name == n.Name
+	}
+	return true
+}
+
+// logIDF is the token weight for a document-frequency df out of n old
+// nodes: rarer tokens weigh more.
+func logIDF(n, df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	return 1 + math.Log(float64(n)/float64(df))
+}

@@ -1,0 +1,213 @@
+package sftm
+
+import (
+	"strings"
+	"testing"
+
+	"xydiff/internal/dom"
+)
+
+func parse(t *testing.T, src string) *dom.Node {
+	t.Helper()
+	doc, err := dom.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc
+}
+
+func TestFlattenShape(t *testing.T) {
+	doc := parse(t, `<r><a x="1">hi</a><b/><c><d/></c></r>`)
+	ft := flatten(doc)
+	if ft.len() != doc.Size() {
+		t.Fatalf("len = %d, want %d", ft.len(), doc.Size())
+	}
+	if ft.parent[0] != -1 {
+		t.Fatalf("document parent = %d", ft.parent[0])
+	}
+	for i := 1; i < ft.len(); i++ {
+		p := ft.parent[i]
+		if p < 0 || p >= int32(i) {
+			t.Fatalf("node %d: parent %d not an earlier index", i, p)
+		}
+		if ft.nodes[i].Parent != ft.nodes[p] {
+			t.Fatalf("node %d: parent pointer mismatch", i)
+		}
+	}
+	for i := 0; i < ft.len(); i++ {
+		kids := ft.children(i)
+		if len(kids) != len(ft.nodes[i].Children) {
+			t.Fatalf("node %d: %d kids, want %d", i, len(kids), len(ft.nodes[i].Children))
+		}
+		for j, k := range kids {
+			if ft.nodes[k] != ft.nodes[i].Children[j] {
+				t.Fatalf("node %d kid %d out of document order", i, j)
+			}
+		}
+	}
+}
+
+func TestMatchIdenticalDocuments(t *testing.T) {
+	src := `<html><body><div class="nav"><a href="/">Home</a><a href="/about">About us</a></div><p>Welcome to the example store, best prices in town.</p></body></html>`
+	oldDoc := parse(t, src)
+	newDoc := parse(t, src)
+	pairs, st, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matched != st.OldNodes {
+		t.Fatalf("matched %d of %d nodes", st.Matched, st.OldNodes)
+	}
+	// Identical documents must match positionally: every pair's paths
+	// from the root coincide.
+	for o, n := range pairs {
+		if pathOf(o) != pathOf(n) {
+			t.Errorf("pair %s ↔ %s not positional", pathOf(o), pathOf(n))
+		}
+	}
+}
+
+func pathOf(n *dom.Node) string {
+	var parts []string
+	for n.Parent != nil {
+		idx := n.Index()
+		parts = append([]string{n.Name + "#" + string(rune('0'+idx))}, parts...)
+		n = n.Parent
+	}
+	return strings.Join(parts, "/")
+}
+
+func TestMatchSurvivesWrapperDiv(t *testing.T) {
+	oldDoc := parse(t, `<html><body><h1>Quarterly results</h1><p>Revenue grew twelve percent year over year.</p></body></html>`)
+	newDoc := parse(t, `<html><body><div class="wrap"><h1>Quarterly results</h1><p>Revenue grew twelve percent year over year.</p></div></body></html>`)
+	pairs, _, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The h1 and p must survive being re-parented into the wrapper.
+	var h1Matched, pMatched bool
+	for o, n := range pairs {
+		if o.Type == dom.Element && o.Name == "h1" && n.Name == "h1" {
+			h1Matched = true
+		}
+		if o.Type == dom.Element && o.Name == "p" && n.Name == "p" {
+			pMatched = true
+		}
+	}
+	if !h1Matched || !pMatched {
+		t.Fatalf("wrapped nodes lost: h1=%v p=%v (pairs=%d)", h1Matched, pMatched, len(pairs))
+	}
+}
+
+func TestMatchAttributeChurn(t *testing.T) {
+	oldDoc := parse(t, `<html><body><ul><li class="item">First entry about apples</li><li class="item">Second entry about oranges</li><li class="item">Third entry about pears</li></ul></body></html>`)
+	newDoc := parse(t, `<html><body><ul><li class="item odd">First entry about apples</li><li class="item even">Second entry about oranges</li><li class="item odd">Third entry about pears</li></ul></body></html>`)
+	pairs, st, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matched != st.OldNodes {
+		t.Fatalf("matched %d of %d", st.Matched, st.OldNodes)
+	}
+	// Each li must match the li with the same text, not a neighbor.
+	for o, n := range pairs {
+		if o.Type == dom.Element && o.Name == "li" {
+			if o.TextContent() != n.TextContent() {
+				t.Errorf("li %q matched to %q", o.TextContent(), n.TextContent())
+			}
+		}
+	}
+}
+
+func TestMatchReorderWithoutIDs(t *testing.T) {
+	oldDoc := parse(t, `<html><body><div><h2>Alpha section heading</h2><p>The alpha paragraph speaks of mountains.</p></div><div><h2>Beta section heading</h2><p>The beta paragraph speaks of rivers.</p></div></body></html>`)
+	newDoc := parse(t, `<html><body><div><h2>Beta section heading</h2><p>The beta paragraph speaks of rivers.</p></div><div><h2>Alpha section heading</h2><p>The alpha paragraph speaks of mountains.</p></div></body></html>`)
+	pairs, _, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, n := range pairs {
+		if o.Type == dom.Text && !strings.Contains(o.Value, " ") {
+			continue
+		}
+		if o.Type == dom.Text && o.Value != n.Value {
+			t.Errorf("text %q matched to %q", o.Value, n.Value)
+		}
+	}
+}
+
+func TestMatchTextUpdateAdopted(t *testing.T) {
+	oldDoc := parse(t, `<html><body><p>Completely original wording here</p></body></html>`)
+	newDoc := parse(t, `<html><body><p>Entirely different phrasing now</p></body></html>`)
+	pairs, _, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The text shares no tokens, but as the unique unmatched text child
+	// of a matched p it must be adopted (so the delta is an update).
+	var textMatched bool
+	for o := range pairs {
+		if o.Type == dom.Text {
+			textMatched = true
+		}
+	}
+	if !textMatched {
+		t.Fatal("fully-rewritten text node not adopted")
+	}
+}
+
+func TestMatchRejectsNonDocuments(t *testing.T) {
+	doc := parse(t, `<r/>`)
+	if _, err := Match(doc.Children[0], doc, Options{}); err == nil {
+		t.Fatal("want error for element argument")
+	}
+	if _, err := Match(nil, doc, Options{}); err == nil {
+		t.Fatal("want error for nil argument")
+	}
+}
+
+func TestMatchDeterministic(t *testing.T) {
+	oldDoc := parse(t, `<html><body><ul><li>one red</li><li>two blue</li><li>three green</li><li>four teal</li></ul><p>tail text</p></body></html>`)
+	newDoc := parse(t, `<html><body><p>tail text</p><ul><li>three green</li><li>one red</li><li>five pink</li><li>two blue</li></ul></body></html>`)
+	ref, _, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, _, err := MatchDetailed(oldDoc, newDoc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("run %d: %d pairs, want %d", i, len(got), len(ref))
+		}
+		for o, n := range ref {
+			if got[o] != n {
+				t.Fatalf("run %d: pair diverged", i)
+			}
+		}
+	}
+}
+
+func TestStopTokenPruning(t *testing.T) {
+	// 200 identical items: the shared tokens exceed MaxPostings and
+	// must be pruned, not blow up candidate scoring.
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for i := 0; i < 200; i++ {
+		b.WriteString(`<div class="card">same text</div>`)
+	}
+	b.WriteString("</body></html>")
+	oldDoc := parse(t, b.String())
+	newDoc := parse(t, b.String())
+	_, st, err := MatchDetailed(oldDoc, newDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StopTokens == 0 {
+		t.Fatal("expected stop tokens to be pruned")
+	}
+	if st.Candidates > st.NewNodes*(Options{}).topK() {
+		t.Fatalf("candidate explosion: %d", st.Candidates)
+	}
+}

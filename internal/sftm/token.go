@@ -1,0 +1,148 @@
+package sftm
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"xydiff/internal/dom"
+)
+
+// Tokens are FNV-1a hashes of namespaced strings ("t:" tag, "a:"
+// attribute name, "v:" attribute name=value, "c:" class token, "w:"
+// text word, "s:" word bigram shingle). Hashing keeps the index
+// allocation-free per lookup; a collision merely nudges one similarity
+// score, which a heuristic matcher tolerates by construction.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashSeed returns the FNV-1a hash of the namespace prefix, ready to
+// be extended with hashString.
+func hashSeed(ns string) uint64 {
+	return hashString(fnvOffset, ns)
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+var (
+	seedTag   = hashSeed("t:")
+	seedAttr  = hashSeed("a:")
+	seedValue = hashSeed("v:")
+	seedClass = hashSeed("c:")
+	seedWord  = hashSeed("w:")
+	seedPair  = hashSeed("s:")
+	seedKid   = hashSeed("k:")
+	seedChild = hashSeed("d:")
+)
+
+// tokenizeNode appends the node's tokens to dst and returns the
+// extended slice, sorted and deduplicated (set semantics: repeating a
+// word in a text node must not double its weight).
+func tokenizeNode(n *dom.Node, dst []uint64) []uint64 {
+	switch n.Type {
+	case dom.Element:
+		dst = append(dst, hashString(seedTag, n.Name))
+		for _, a := range n.Attrs {
+			dst = append(dst, hashString(seedAttr, a.Name))
+			if a.Name == "class" || a.Name == "rel" {
+				// Multi-valued attributes: one token per entry so a
+				// single added class keeps the rest of the overlap.
+				dst = appendWords(dst, seedClass, a.Value, false)
+			} else {
+				h := hashString(seedValue, a.Name)
+				h = hashByte(h, '=')
+				dst = append(dst, hashString(h, a.Value))
+			}
+		}
+		// Direct text children lend their words, and element children
+		// their tags, each under a separate namespace. Repeated id-less
+		// elements (li, p, a) are otherwise token-identical, and a true
+		// partner missing from the top-k candidate list at selection
+		// time is unrecoverable; the child-tag outline also separates a
+		// freshly inserted wrapper div (one div child) from the section
+		// div it wraps (heading, paragraphs, list).
+		for _, ch := range n.Children {
+			switch ch.Type {
+			case dom.Text:
+				dst = appendWords(dst, seedKid, ch.Value, false)
+			case dom.Element:
+				dst = append(dst, hashString(seedChild, ch.Name))
+			}
+		}
+	case dom.Text, dom.Comment:
+		dst = appendWords(dst, seedWord, n.Value, true)
+	case dom.ProcInst:
+		dst = append(dst, hashString(seedTag, n.Name))
+		dst = appendWords(dst, seedWord, n.Value, false)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	out := dst[:0]
+	var prev uint64
+	for i, h := range dst {
+		if i == 0 || h != prev {
+			out = append(out, h)
+			prev = h
+		}
+	}
+	return out
+}
+
+// appendWords splits s on spaces/punctuation and appends one token per
+// word (lower-cased, so "Price" and "price" overlap across re-renders).
+// With shingles, consecutive-word bigrams are added too: they preserve
+// enough ordering signal to tell two short text nodes apart when their
+// vocabularies overlap.
+func appendWords(dst []uint64, seed uint64, s string, shingles bool) []uint64 {
+	var prev uint64
+	hasPrev := false
+	for len(s) > 0 {
+		start := strings.IndexFunc(s, isWordRune)
+		if start < 0 {
+			break
+		}
+		s = s[start:]
+		end := strings.IndexFunc(s, func(r rune) bool { return !isWordRune(r) })
+		if end < 0 {
+			end = len(s)
+		}
+		word := s[:end]
+		s = s[end:]
+		h := seed
+		for _, r := range word {
+			h = hashByte(h, byte(unicode.ToLower(r)))
+			h = hashByte(h, byte(unicode.ToLower(r)>>8))
+		}
+		dst = append(dst, h)
+		if shingles {
+			if hasPrev {
+				p := hashByte(seedPair, 0)
+				p ^= prev
+				p *= fnvPrime
+				p ^= h
+				p *= fnvPrime
+				dst = append(dst, p)
+			}
+			prev, hasPrev = h, true
+		}
+	}
+	return dst
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -110,8 +110,24 @@ func (s *Store) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
 // write failure leaves the in-memory history untouched and returns the
 // error, so the version is neither acknowledged nor half-installed.
 func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error) {
+	return s.putContext(ctx, id, doc, "")
+}
+
+// PutMatcherContext is PutContext with a per-call matcher override: a
+// non-empty matcher replaces the store's configured Options.Matcher
+// for this version's diff only. The stored delta format is identical
+// for every matcher, so histories may freely mix them.
+func (s *Store) PutMatcherContext(ctx context.Context, id string, doc *dom.Node, matcher diff.Matcher) (int, *delta.Delta, error) {
+	return s.putContext(ctx, id, doc, matcher)
+}
+
+func (s *Store) putContext(ctx context.Context, id string, doc *dom.Node, matcher diff.Matcher) (int, *delta.Delta, error) {
 	if doc == nil || doc.Type != dom.Document {
 		return 0, nil, fmt.Errorf("store: need a Document node")
+	}
+	opts := s.opts
+	if matcher != "" {
+		opts.Matcher = matcher
 	}
 	s.mu.Lock()
 	h := s.docs[id]
@@ -136,7 +152,7 @@ func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, 
 		return 1, nil, nil
 	}
 	next := doc.Clone()
-	r, err := diff.DiffDetailedContext(ctx, h.latest, next, s.opts)
+	r, err := diff.DiffDetailedContext(ctx, h.latest, next, opts)
 	if err != nil {
 		return 0, nil, fmt.Errorf("store: diff %s: %w", id, err)
 	}

@@ -280,8 +280,24 @@ func (s *Store) Put(id string, doc *dom.Node) (int, *delta.Delta, error) {
 // group-commit queue is saturated the Put fails fast with ErrBusy
 // instead of blocking, so callers can shed load.
 func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, *delta.Delta, error) {
+	return s.putContext(ctx, id, doc, "")
+}
+
+// PutMatcherContext is PutContext with a per-call matcher override: a
+// non-empty matcher replaces the store's configured Options.Matcher
+// for this version's diff only. The stored delta format is identical
+// for every matcher, so histories may freely mix them.
+func (s *Store) PutMatcherContext(ctx context.Context, id string, doc *dom.Node, matcher diff.Matcher) (int, *delta.Delta, error) {
+	return s.putContext(ctx, id, doc, matcher)
+}
+
+func (s *Store) putContext(ctx context.Context, id string, doc *dom.Node, matcher diff.Matcher) (int, *delta.Delta, error) {
 	if doc == nil || doc.Type != dom.Document {
 		return 0, nil, fmt.Errorf("vstore: need a Document node")
+	}
+	opts := s.opts
+	if matcher != "" {
+		opts.Matcher = matcher
 	}
 	sh := s.shardFor(id)
 	st := sh.state(id)
@@ -307,7 +323,7 @@ func (s *Store) PutContext(ctx context.Context, id string, doc *dom.Node) (int, 
 		return 0, nil, err
 	}
 	next := doc.Clone()
-	r, err := diff.DiffDetailedContext(ctx, old, next, s.opts)
+	r, err := diff.DiffDetailedContext(ctx, old, next, opts)
 	if err != nil {
 		return 0, nil, fmt.Errorf("vstore: diff %s: %w", id, err)
 	}

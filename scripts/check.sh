@@ -15,10 +15,14 @@
 #   7. scrub smoke  bit-rot round-trip: a flipped bit in a sealed
 #                  segment is detected and repaired byte-identically
 #                  in one scrub cycle
-#   8. bench smoke quick bench5 + bench6 runs compared against the
-#                  committed BENCH_5.json / BENCH_6.json with coarse
-#                  tolerances (3x time, 1.5x allocations, +0.15 quality
-#                  ratio, identical deltas, 3x fsyncs-per-Put)
+#   8. match smoke  SFTM match quality on the id-less changesim HTML
+#                  corpus: absolute precision/recall floors plus
+#                  beating BULD-without-IDs on both axes
+#   9. bench smoke quick bench5 + bench6 + bench7 runs compared
+#                  against the committed BENCH_5.json / BENCH_6.json /
+#                  BENCH_7.json with coarse tolerances (3x time, 1.5x
+#                  allocations, +0.15 quality ratio, identical deltas,
+#                  3x fsyncs-per-Put, -0.03 match precision/recall)
 #
 # Exits nonzero on the first failing step.
 set -eu
@@ -47,6 +51,7 @@ $GO test ./internal/xpathlite -run '^$' -fuzz '^FuzzCompile$' -fuzztime "$FUZZTI
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzApply$' -fuzztime "$FUZZTIME"
 $GO test ./internal/diff -run '^$' -fuzz '^FuzzDiffApply$' -fuzztime "$FUZZTIME"
+$GO test ./internal/diff -run '^$' -fuzz '^FuzzSFTMApply$' -fuzztime "$FUZZTIME"
 
 echo "==> load smoke"
 $GO run ./cmd/xyload -assert-fsync-ratio 0.1
@@ -54,6 +59,9 @@ $GO run ./cmd/xyload -assert-fsync-ratio 0.1
 echo "==> scrub smoke"
 $GO test ./internal/vstore -run '^TestScrubRepairsCorruptSealedSegment$' -count=1
 $GO test ./cmd/xystore -run '^TestScrubCommand' -count=1
+
+echo "==> match smoke"
+$GO test ./internal/changesim -run '^TestSFTMQualityOnHTMLCorpus$' -count=1 -v
 
 echo "==> bench smoke"
 ./scripts/benchdiff.sh -quick
