@@ -21,18 +21,23 @@
 #   8. match-smoke — SFTM match quality on the id-less changesim HTML
 #                   corpus: absolute precision/recall floors plus
 #                   beating BULD-without-IDs on both axes
-#   9. bench-check — quick bench5 + bench6 + bench7 runs gated against
-#                   BENCH_5.json / BENCH_6.json / BENCH_7.json (coarse
-#                   tolerances; catches gross perf and match-quality
-#                   regressions, and holds SFTM to beating
-#                   BULD-without-IDs on the id-less HTML corpus)
+#   9. xpath-smoke — the differential XPath harness: 6000 generated
+#                   query×document pairs evaluated by both xpathlite
+#                   and the independent naive evaluator, zero
+#                   divergences tolerated
+#  10. bench-check — quick bench5–bench8 runs gated against
+#                   BENCH_5.json … BENCH_8.json (coarse tolerances;
+#                   catches gross perf and match-quality regressions,
+#                   holds SFTM to beating BULD-without-IDs on the
+#                   id-less HTML corpus, and holds every matcher's
+#                   delta cost to the optdelta oracle's optimum)
 #
 # scripts/check.sh runs the same sequence standalone (no make needed).
 GO ?= go
 
-.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke scrub-smoke match-smoke bench-json bench-json6 bench-json7 bench-check server crawl-demo
+.PHONY: check fmt vet xyvet build test race bench fuzz-smoke load-smoke scrub-smoke match-smoke xpath-smoke bench-json bench-json6 bench-json7 bench-json8 bench-check server crawl-demo
 
-check: fmt vet build race fuzz-smoke load-smoke scrub-smoke match-smoke bench-check
+check: fmt vet build race fuzz-smoke load-smoke scrub-smoke match-smoke xpath-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -81,6 +86,18 @@ match-smoke:
 bench-json7:
 	$(GO) run ./cmd/xybench -json BENCH_7.json bench7
 
+# Regenerate the committed optimality baseline (BENCH_8.json): BULD,
+# SFTM and changesim's perfect delta costed against the exact optimum
+# the optdelta oracle proves on small trees.
+bench-json8:
+	$(GO) run ./cmd/xybench -json BENCH_8.json bench8
+
+# Differential XPath smoke: xpathlite vs the deliberately naive
+# second evaluator over 6000 generated query×document pairs; any
+# disagreement (node set, order, or compile verdict) fails the gate.
+xpath-smoke:
+	$(GO) test ./internal/xptest -run '^TestXPathDifferentialSeeded$$' -count=1 -v
+
 # Gate fresh quick-mode runs against the committed baselines; see
 # scripts/benchdiff.sh for the tolerances.
 bench-check:
@@ -112,6 +129,9 @@ fuzz-smoke:
 	$(GO) test ./internal/delta -run '^$$' -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/diff -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/diff -run '^$$' -fuzz '^FuzzSFTMApply$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xptest -run '^$$' -fuzz '^FuzzXPathDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xptest -run '^$$' -fuzz '^FuzzXPathDifferentialRaw$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/optdelta -run '^$$' -fuzz '^FuzzOptDeltaSound$$' -fuzztime $(FUZZTIME)
 
 # Run the change-control daemon locally (data in ./xydiffd-data).
 server:

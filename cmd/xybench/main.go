@@ -24,7 +24,10 @@
 //	bench7      machine-readable matcher comparison on the id-less HTML
 //	            corpus: SFTM vs BULD precision/recall, delta sizes,
 //	            diff time, SFTM worker sweep (see -json / -compare)
-//	all         everything above except bench5, bench6 and bench7
+//	bench8      machine-readable optimality-ratio record: BULD, SFTM and
+//	            changesim's perfect delta vs the exact optimum on small
+//	            trees (optdelta oracle, see -json / -compare)
+//	all         everything above except bench5, bench6, bench7 and bench8
 //
 // Flags:
 //
@@ -32,9 +35,9 @@
 //	             quick mode keeps every experiment under a few seconds
 //	-seed n      random seed (default 1)
 //	-workers n   diff.Options.Workers for fig4/site (0 = GOMAXPROCS)
-//	-quick       bench5/bench6/bench7: smaller workload (the check.sh smoke)
-//	-json path   bench5/bench6/bench7: write the report to path (- for stdout)
-//	-compare p   bench5/bench6/bench7: gate the fresh report against a
+//	-quick       bench5–bench8: smaller workload (the check.sh smoke)
+//	-json path   bench5–bench8: write the report to path (- for stdout)
+//	-compare p   bench5–bench8: gate the fresh report against a
 //	             committed baseline; exit 1 when a tolerance is violated
 package main
 
@@ -62,11 +65,11 @@ func main() {
 	flag.BoolVar(&cfg.full, "full", false, "run full-size workloads")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random `seed`")
 	flag.IntVar(&cfg.workers, "workers", 0, "diff `goroutines` for fig4/site (0 = GOMAXPROCS)")
-	flag.BoolVar(&cfg.quick, "quick", false, "bench5/bench6/bench7: smaller workload")
-	flag.StringVar(&cfg.json, "json", "", "bench5/bench6/bench7: write report to `path` (- for stdout)")
-	flag.StringVar(&cfg.compare, "compare", "", "bench5/bench6/bench7: compare against baseline report at `path`")
+	flag.BoolVar(&cfg.quick, "quick", false, "bench5-bench8: smaller workload")
+	flag.StringVar(&cfg.json, "json", "", "bench5-bench8: write report to `path` (- for stdout)")
+	flag.StringVar(&cfg.compare, "compare", "", "bench5-bench8: compare against baseline report at `path`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xybench [flags] fig4|fig5|fig6|site|baselines|moves|ablation|stats|bench5|bench6|bench7|all\n")
+		fmt.Fprintf(os.Stderr, "usage: xybench [flags] fig4|fig5|fig6|site|baselines|moves|ablation|stats|bench5|bench6|bench7|bench8|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -230,6 +233,56 @@ func runBench7(w io.Writer, cfg benchConfig) error {
 	return nil
 }
 
+// runBench8 runs the optimality-ratio experiment, optionally writes
+// the report, optionally gates it against a committed baseline.
+func runBench8(w io.Writer, cfg benchConfig) error {
+	r, err := bench.Bench8(cfg.quick, cfg.seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintBench8(w, r)
+	if cfg.json != "" {
+		if cfg.json == "-" {
+			if err := r.WriteJSON(w); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(cfg.json)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				_ = f.Close() // the write error is the one worth reporting
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.compare != "" {
+		f, err := os.Open(cfg.compare)
+		if err != nil {
+			return err
+		}
+		baseline, err := bench.ReadBench8(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if bad := r.Compare(baseline); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "optimality bench regression:", msg)
+			}
+			return fmt.Errorf("%d optimality benchmark gate(s) violated (baseline %s)", len(bad), cfg.compare)
+		}
+		fmt.Fprintf(w, "optimality bench gate: ok against %s\n", cfg.compare)
+	}
+	return nil
+}
+
 func run(w io.Writer, experiment string, cfg benchConfig) error {
 	full, seed := cfg.full, cfg.seed
 	opts := diff.Options{Workers: cfg.workers}
@@ -324,6 +377,8 @@ func run(w io.Writer, experiment string, cfg benchConfig) error {
 			return runBench6(w, cfg)
 		case "bench7":
 			return runBench7(w, cfg)
+		case "bench8":
+			return runBench8(w, cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -46,6 +46,7 @@ var BoundaryRules = []BoundaryRule{
 			"internal/dom", "internal/diff", "internal/delta",
 			"internal/dtd", "internal/lcs", "internal/xid",
 			"internal/textdiff", "internal/xpathlite", "internal/sftm",
+			"internal/optdelta",
 		},
 		Deny:   []string{"os", "syscall", "net"},
 		Reason: "the core diffs io.Reader/io.Writer and in-memory DOMs; keeping it free of platform I/O makes it wasm-clean and embeddable",

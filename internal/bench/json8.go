@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+	"xydiff/internal/optdelta"
+)
+
+// Bench8Report is the machine-readable record behind BENCH_8.json: the
+// optimality-ratio experiment. On generated small-tree pairs (capped
+// so the optdelta oracle can prove a true optimum), it reports each
+// matcher's delta cost as a ratio to the exact minimum — the honest
+// version of "how good are BULD's deltas", where BENCH_5–7 could only
+// compare against changesim's scripted delta. The Sound verdict is the
+// oracle's core invariant: a proven optimum must never exceed a
+// computed script's cost.
+type Bench8Report struct {
+	Schema     int    `json:"schema"`
+	Mode       string `json:"mode"` // "quick" or "full"
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+
+	// MaxNodes is the oracle's per-tree cap; every ratio below is
+	// measured on trees of at most this many nodes. Small trees only —
+	// exact optimal diffing is exponential, and the cap keeps the
+	// optimum provable rather than approximated.
+	MaxNodes  int   `json:"maxNodes"`
+	MaxStates int64 `json:"maxStates"`
+	// Churn is the uniform mutation probability of the generated pairs.
+	Churn float64 `json:"churn"`
+
+	// Pairs is the number of pairs with a completed optimality proof —
+	// the denominator of every distribution below. Generated counts
+	// all attempts; Inexact the proofs abandoned at the state budget;
+	// SkippedLarge the pairs whose mutated tree outgrew the cap;
+	// SkippedNoChange the pairs the simulator left unchanged.
+	Pairs           int   `json:"pairs"`
+	Generated       int   `json:"generated"`
+	Inexact         int   `json:"inexact"`
+	SkippedLarge    int   `json:"skippedLarge"`
+	SkippedNoChange int   `json:"skippedNoChange"`
+	StatesTotal     int64 `json:"statesTotal"`
+
+	// Ratios holds one cost/optimum distribution per delta source.
+	Ratios []Bench8Ratio `json:"ratios"`
+
+	// Sound is true when no computed delta ever cost less than the
+	// proven optimum — the invariant that makes the ratios meaningful.
+	Sound bool `json:"sound"`
+}
+
+// Bench8Ratio is one delta source's cost/optimum distribution.
+type Bench8Ratio struct {
+	// Matcher is "buld", "sftm", or "perfect" (changesim's scripted
+	// delta, included to show how far even the ground-truth script
+	// sits from the optimum).
+	Matcher string  `json:"matcher"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	Max     float64 `json:"max"`
+	// OptimalHits counts pairs where this source's cost equals the
+	// exact optimum.
+	OptimalHits int `json:"optimalHits"`
+}
+
+const bench8Churn = 0.15
+
+// Bench8 measures the optimality-ratio report. Quick mode proves
+// fewer pairs under a smaller search budget and is what the check gate
+// runs; the committed baseline is generated without quick.
+func Bench8(quick bool, seed int64) (*Bench8Report, error) {
+	r := &Bench8Report{
+		Schema:     1,
+		Mode:       "full",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		MaxNodes:   optdelta.DefaultMaxNodes,
+		MaxStates:  optdelta.DefaultMaxStates,
+		Churn:      bench8Churn,
+		Sound:      true,
+	}
+	target := 200
+	if quick {
+		r.Mode = "quick"
+		target = 50
+		r.MaxStates = 400_000
+	}
+
+	sources := []string{"buld", "sftm", "perfect"}
+	ratios := map[string][]float64{}
+	hits := map[string]int{}
+
+	for attempt := int64(0); r.Pairs < target && attempt < int64(target)*6; attempt++ {
+		r.Generated++
+		rng := rand.New(rand.NewSource(seed + attempt*101))
+		oldDoc := changesim.Generic(rng, 8+rng.Intn(14), 3, 5)
+		sim, err := changesim.Simulate(oldDoc, changesim.Uniform(bench8Churn, seed*31+attempt))
+		if err != nil {
+			return nil, err
+		}
+		if oldDoc.Size()-1 > r.MaxNodes || sim.New.Size()-1 > r.MaxNodes {
+			r.SkippedLarge++
+			continue
+		}
+		if dom.Equal(oldDoc, sim.New) {
+			r.SkippedNoChange++
+			continue
+		}
+		costs := map[string]int{"perfect": optdelta.ScriptCost(sim.Perfect)}
+		db, err := diff.Diff(oldDoc.Clone(), sim.New.Clone(), diff.Options{})
+		if err != nil {
+			return nil, err
+		}
+		costs["buld"] = optdelta.ScriptCost(db)
+		ds, err := diff.Diff(oldDoc.Clone(), sim.New.Clone(), diff.Options{Matcher: diff.MatcherSFTM})
+		if err != nil {
+			return nil, err
+		}
+		costs["sftm"] = optdelta.ScriptCost(ds)
+		ub := costs["buld"]
+		for _, c := range costs {
+			if c < ub {
+				ub = c
+			}
+		}
+		res, err := optdelta.Optimal(oldDoc, sim.New, optdelta.Options{
+			MaxNodes:   r.MaxNodes,
+			MaxStates:  r.MaxStates,
+			UpperBound: ub,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.StatesTotal += res.States
+		if !res.Exact {
+			r.Inexact++
+			continue
+		}
+		if res.Cost < 1 {
+			// Unequal trees need at least one operation; a cheaper
+			// "proof" would be an oracle bug.
+			r.Sound = false
+			continue
+		}
+		r.Pairs++
+		for _, src := range sources {
+			if costs[src] < res.Cost {
+				r.Sound = false
+			}
+			if costs[src] == res.Cost {
+				hits[src]++
+			}
+			ratios[src] = append(ratios[src], float64(costs[src])/float64(res.Cost))
+		}
+	}
+
+	for _, src := range sources {
+		r.Ratios = append(r.Ratios, summarizeRatios(src, ratios[src], hits[src]))
+	}
+	return r, nil
+}
+
+func summarizeRatios(name string, vals []float64, hits int) Bench8Ratio {
+	out := Bench8Ratio{Matcher: name, OptimalHits: hits}
+	if len(vals) == 0 {
+		return out
+	}
+	sorted := append([]float64{}, vals...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	out.Mean = sum / float64(len(sorted))
+	out.P50 = sorted[len(sorted)/2]
+	out.P90 = sorted[len(sorted)*9/10]
+	out.Max = sorted[len(sorted)-1]
+	return out
+}
+
+// WriteJSON serializes the report.
+func (r *Bench8Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBench8 parses a report written by WriteJSON.
+func ReadBench8(r io.Reader) (*Bench8Report, error) {
+	var out Bench8Report
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("bench: parsing bench8 report: %w", err)
+	}
+	return &out, nil
+}
+
+// Compare checks a fresh report against a committed baseline and
+// returns one message per violated gate. Soundness is absolute: no
+// matcher may ever beat the proven optimum. Quality gates tolerate
+// mode differences (the gate runs quick against a full baseline): each
+// source's mean ratio may sit at most 0.15 above the baseline's, and
+// the fraction of pairs proven exact may drop at most 0.10.
+func (r *Bench8Report) Compare(baseline *Bench8Report) []string {
+	var bad []string
+	if !r.Sound {
+		bad = append(bad, "a computed delta cost less than the proven optimum (oracle or cost-model bug)")
+	}
+	if r.Pairs == 0 {
+		bad = append(bad, "no pairs were proven optimal; the experiment measured nothing")
+		return bad
+	}
+	exactFrac := func(rep *Bench8Report) float64 {
+		attempted := rep.Pairs + rep.Inexact
+		if attempted == 0 {
+			return 0
+		}
+		return float64(rep.Pairs) / float64(attempted)
+	}
+	if got, want := exactFrac(r), exactFrac(baseline); got < want-0.10 {
+		bad = append(bad, fmt.Sprintf("exact-proof fraction %.2f more than 0.10 below baseline %.2f", got, want))
+	}
+	baseR := map[string]Bench8Ratio{}
+	for _, q := range baseline.Ratios {
+		baseR[q.Matcher] = q
+	}
+	for _, q := range r.Ratios {
+		b, ok := baseR[q.Matcher]
+		if !ok {
+			continue
+		}
+		if q.Mean > b.Mean+0.15 {
+			bad = append(bad, fmt.Sprintf("%s: mean optimality ratio %.3f more than 0.15 above baseline %.3f", q.Matcher, q.Mean, b.Mean))
+		}
+	}
+	return bad
+}
+
+// PrintBench8 renders the report for humans (the JSON goes to -json).
+func PrintBench8(w io.Writer, r *Bench8Report) {
+	fmt.Fprintf(w, "# BENCH_8 (%s mode, %s %s/%s, %d CPU)\n", r.Mode, r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+	fmt.Fprintf(w, "pairs proven optimal: %d (generated %d, inexact %d, too large %d, unchanged %d)\n",
+		r.Pairs, r.Generated, r.Inexact, r.SkippedLarge, r.SkippedNoChange)
+	fmt.Fprintf(w, "tree cap: %d nodes; search budget: %d states (%d used total)\n",
+		r.MaxNodes, r.MaxStates, r.StatesTotal)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %14s\n", "source", "mean", "p50", "p90", "max", "optimal-hits")
+	for _, q := range r.Ratios {
+		fmt.Fprintf(w, "%-10s %8.3f %8.3f %8.3f %8.3f %11d/%d\n",
+			q.Matcher, q.Mean, q.P50, q.P90, q.Max, q.OptimalHits, r.Pairs)
+	}
+	fmt.Fprintf(w, "sound (no delta beat the optimum): %v\n", r.Sound)
+}

@@ -289,3 +289,15 @@ func TestArticlesGenerator(t *testing.T) {
 		t.Fatalf("articles diff round trip: %s", dom.Diagnose(got, res.New))
 	}
 }
+
+func TestGenericTerminatesWithOneChildSlot(t *testing.T) {
+	// maxChildren=1 used to hang: a text node could fill the only open
+	// slot and full nodes are never retired from the open list. The
+	// clamp to two slots keeps generation terminating for any input.
+	for seed := int64(0); seed < 50; seed++ {
+		doc := Generic(rand.New(rand.NewSource(seed)), 40, 1, 3)
+		if doc.Size() < 2 {
+			t.Fatalf("seed %d: degenerate document %s", seed, doc)
+		}
+	}
+}

@@ -107,6 +107,14 @@ func Site(rng *rand.Rand, pages int) *dom.Node {
 // node count and label alphabet, for experiments that need shape
 // control rather than realism.
 func Generic(rng *rand.Rand, nodes, maxChildren, labelCount int) *dom.Node {
+	// With a single child slot, a text child can fill the only open
+	// node while the text-vs-element guard keeps every later draw a
+	// no-op, and the loop below never terminates (found by the xptest
+	// generator driving this with fuzzer-chosen parameters). Two slots
+	// guarantee every full node has an element child still open.
+	if maxChildren < 2 {
+		maxChildren = 2
+	}
 	doc := dom.NewDocument()
 	root := dom.NewElement("n0")
 	doc.Append(root)

@@ -1,0 +1,61 @@
+package optdelta
+
+import (
+	"math/rand"
+	"testing"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/diff"
+	"xydiff/internal/dom"
+)
+
+// FuzzOptDeltaSound turns fuzzer bytes into a (document, churn)
+// recipe, diffs the resulting pair with both matchers, and checks the
+// oracle's two invariants: the proven optimum never exceeds any
+// computed script's cost, and cost zero coincides with tree equality.
+func FuzzOptDeltaSound(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(2))
+	f.Add(int64(42), uint8(18), uint8(5))
+	f.Add(int64(-77), uint8(24), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, size, churn uint8) {
+		nodes := 4 + int(size)%20
+		rng := rand.New(rand.NewSource(seed))
+		oldDoc := changesim.Generic(rng, nodes, 3, 4)
+		sim, err := changesim.Simulate(oldDoc, changesim.Uniform(float64(churn%10)/20, seed))
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if oldDoc.Size()-1 > DefaultMaxNodes || sim.New.Size()-1 > DefaultMaxNodes {
+			return
+		}
+		db, err := diff.Diff(oldDoc.Clone(), sim.New.Clone(), diff.Options{})
+		if err != nil {
+			t.Fatalf("buld diff: %v", err)
+		}
+		ds, err := diff.Diff(oldDoc.Clone(), sim.New.Clone(), diff.Options{Matcher: diff.MatcherSFTM})
+		if err != nil {
+			t.Fatalf("sftm diff: %v", err)
+		}
+		res, err := Optimal(oldDoc, sim.New, Options{UpperBound: ScriptCost(db)})
+		if err != nil {
+			t.Fatalf("optimal: %v", err)
+		}
+		if !res.Exact {
+			return
+		}
+		for name, c := range map[string]int{
+			"buld":    ScriptCost(db),
+			"sftm":    ScriptCost(ds),
+			"perfect": ScriptCost(sim.Perfect),
+		} {
+			if res.Cost > c {
+				t.Fatalf("optimum %d exceeds %s script cost %d\nold: %s\nnew: %s",
+					res.Cost, name, c, oldDoc, sim.New)
+			}
+		}
+		if (res.Cost == 0) != dom.Equal(oldDoc, sim.New) {
+			t.Fatalf("cost %d but Equal=%v\nold: %s\nnew: %s",
+				res.Cost, dom.Equal(oldDoc, sim.New), oldDoc, sim.New)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestSubscriptionFilterAcrossMatchers pins the subscription contract
+// the daemon promises regardless of which tree matcher produced the
+// delta: a PUT whose change touches a node matching the subscriber's
+// XPath produces exactly one alert, and a query the change does not
+// satisfy suppresses alerts entirely. catalogV1 -> catalogV2 inserts
+// exactly one Product (price $799), so `//Product[Price>500]` selects
+// the inserted node while `//Product[Price>900]` selects nothing.
+func TestSubscriptionFilterAcrossMatchers(t *testing.T) {
+	cases := []struct {
+		name    string
+		matcher string // "" = store default (buld), otherwise the ?matcher= value
+		query   string
+		want    int
+	}{
+		{"buld/matching", "", `//Product[Price>500]`, 1},
+		{"buld/non-matching", "", `//Product[Price>900]`, 0},
+		{"sftm/matching", "sftm", `//Product[Price>500]`, 1},
+		{"sftm/non-matching", "sftm", `//Product[Price>900]`, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{})
+			sub := fmt.Sprintf(`{"id":"watch","query":%q,"kinds":["insert"]}`, c.query)
+			if code, _, body := doReq(t, "POST", ts.URL+"/subscriptions", sub); code != http.StatusCreated {
+				t.Fatalf("POST subscription: %d %s", code, body)
+			}
+			url := ts.URL + "/docs/catalog"
+			if c.matcher != "" {
+				url += "?matcher=" + c.matcher
+			}
+			if code, _, body := doReq(t, "PUT", url, catalogV1); code != http.StatusCreated {
+				t.Fatalf("PUT v1: %d %s", code, body)
+			}
+			if code, _, body := doReq(t, "PUT", url, catalogV2); code != http.StatusOK {
+				t.Fatalf("PUT v2: %d %s", code, body)
+			}
+			code, _, body := doReq(t, "GET", ts.URL+"/docs/catalog/alerts", "")
+			if code != http.StatusOK {
+				t.Fatalf("GET alerts: %d %s", code, body)
+			}
+			var alerts []alertJSON
+			if err := json.Unmarshal([]byte(body), &alerts); err != nil {
+				t.Fatal(err)
+			}
+			if len(alerts) != c.want {
+				t.Fatalf("alerts = %+v, want exactly %d", alerts, c.want)
+			}
+			if c.want == 1 {
+				a := alerts[0]
+				if a.Sub != "watch" || a.Kind != "insert" || a.Version != 2 {
+					t.Fatalf("alert = %+v", a)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package xpathlite
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 
@@ -15,7 +16,7 @@ func (e *Expr) Select(n *dom.Node) []*dom.Node {
 		return nil
 	}
 	if len(e.alts) == 1 {
-		return selectAlt(n, e.alts[0])
+		return sortDocOrder(selectAlt(n, e.alts[0]))
 	}
 	var out []*dom.Node
 	seen := make(map[*dom.Node]bool)
@@ -27,7 +28,53 @@ func (e *Expr) Select(n *dom.Node) []*dom.Node {
 			}
 		}
 	}
-	return out
+	return sortDocOrder(out)
+}
+
+// sortDocOrder puts a result set into document order. Steps collect
+// matches context node by context node, and with descendant axes a
+// later context can contribute an earlier node (//*/x visits the
+// deeper context after its ancestor), so the concatenated output is
+// not inherently ordered. Found by the xptest differential harness:
+// SelectFirst(`//*/x`) returned the later of two matches.
+func sortDocOrder(nodes []*dom.Node) []*dom.Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return docLess(nodes[i], nodes[j]) })
+	return nodes
+}
+
+// docLess reports whether a precedes b in document (pre-)order. Both
+// must belong to the same tree; an ancestor precedes its descendants.
+func docLess(a, b *dom.Node) bool {
+	if a == b {
+		return false
+	}
+	pa := ancestorChain(a)
+	pb := ancestorChain(b)
+	i, j := len(pa)-1, len(pb)-1
+	for i >= 0 && j >= 0 && pa[i] == pb[j] {
+		i--
+		j--
+	}
+	if i < 0 {
+		return true // a is an ancestor of b
+	}
+	if j < 0 {
+		return false // b is an ancestor of a
+	}
+	// pa[i] and pb[j] are distinct siblings under the common ancestor.
+	return pa[i].Index() < pb[j].Index()
+}
+
+// ancestorChain returns [n, parent, ..., root].
+func ancestorChain(n *dom.Node) []*dom.Node {
+	var chain []*dom.Node
+	for ; n != nil; n = n.Parent {
+		chain = append(chain, n)
+	}
+	return chain
 }
 
 func selectAlt(n *dom.Node, alt pathAlt) []*dom.Node {

@@ -13,6 +13,14 @@ func FuzzCompile(f *testing.F) {
 		`/a/b/c`, `//x[@k='v']`, `a[1][last()]`, `*[text()='t']`,
 		`//p[price>12.5 and @s!='x' or q]`, `a/../b/.`, `//node()`,
 		`[`, `a[`, `//`, `a[b=]`, `.`, `..`,
+		// Predicate/axis edge cases: positional last() (alone and
+		// stacked), // rooted at the document, attribute existence
+		// (bare and chained), and the descendant/child grouping shape
+		// behind the document-order regression.
+		`//a[last()]`, `a[last()][last()]`, `/a//b[last()]`,
+		`//*[@id]`, `//page[@url][links]`, `//a[@href]/..`,
+		`//*/x`, `//node()[last()]`, `/*[2]`, `//x[1] | //x[last()]`,
+		`//*[text()][2]`, `a[@k and @j]`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

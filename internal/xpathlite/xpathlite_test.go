@@ -1,6 +1,7 @@
 package xpathlite
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -286,7 +287,7 @@ func TestCurrencyStripping(t *testing.T) {
 func TestUnionExpressions(t *testing.T) {
 	d := doc(t)
 	cases := []struct{ expr, want string }{
-		{"//Title | //Product[@status]", "Title Title Product"},
+		{"//Title | //Product[@status]", "Title Product Title"}, // union results merge in document order
 		{"/Catalog/Category[1]/Title/text() | /Catalog/Category[2]/Title/text()", "'Cameras' 'Printers'"},
 		{"//Nope | //Title[text()='Printers']", "Title"},
 		{"//Title | //Title", "Title Title"}, // self-union deduplicates
@@ -321,5 +322,44 @@ func TestStringFunctions(t *testing.T) {
 		if _, err := Compile(bad); err == nil {
 			t.Errorf("Compile(%q) accepted", bad)
 		}
+	}
+}
+
+// TestSelectDocumentOrder pins the fix for a bug the xptest
+// differential harness found: with a descendant step followed by a
+// child step, matches were emitted grouped by context node rather than
+// in document order, so SelectFirst(`//*/x`) returned the later of two
+// matches (the x under the root was visited via context a before the
+// deeper context b contributed its earlier x).
+func TestSelectDocumentOrder(t *testing.T) {
+	d, err := dom.ParseString(`<a><b><x i="1"/></b><x i="2"/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Compile(`//*/x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Select(d)
+	if len(got) != 2 {
+		t.Fatalf("Select(//*/x) returned %d nodes, want 2", len(got))
+	}
+	for want, n := range []*dom.Node{got[0], got[1]} {
+		if v, _ := n.Attribute("i"); v != fmt.Sprintf("%d", want+1) {
+			t.Errorf("Select(//*/x)[%d] has i=%q, want %d", want, v, want+1)
+		}
+	}
+	if first := e.SelectFirst(d); first != got[0] {
+		t.Errorf("SelectFirst(//*/x) is not the document-order first match")
+	}
+
+	// The same grouping bug applied to unions: each branch's results
+	// were appended wholesale instead of merging in document order.
+	u, err := Compile(`//x[@i='2'] | //b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(u.Select(d)); got != "b x" {
+		t.Errorf("union order = %q, want %q", got, "b x")
 	}
 }

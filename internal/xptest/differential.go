@@ -1,0 +1,135 @@
+package xptest
+
+import (
+	"fmt"
+	"strings"
+
+	"xydiff/internal/dom"
+	"xydiff/internal/xpathlite"
+)
+
+// Divergence is one disagreement between xpathlite and the naive
+// evaluator: either one compiles a query the other rejects, or both
+// accept it and return different node sets (membership or order) from
+// the same context.
+type Divergence struct {
+	Query   string
+	DocXML  string
+	Context string // nodePath of the context node
+	Detail  string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("query %q on doc %q at context %s: %s",
+		d.Query, d.DocXML, d.Context, d.Detail)
+}
+
+// Check runs every query of the case against every context node with
+// both evaluators and returns the first divergence, or nil when they
+// agree everywhere.
+func Check(c *Case) *Divergence {
+	for _, q := range c.Queries {
+		if d := checkQuery(c.Doc, c.DocXML, q, c.Contexts); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// CheckRaw compares the evaluators over a raw document/query pair,
+// evaluating from the document node and every node of the tree. It
+// backs FuzzXPathDifferentialRaw, where the fuzzer mutates the XML and
+// query text directly, and the shrinker, which needs a
+// divergence-anywhere predicate over reduced documents.
+func CheckRaw(docXML, query string) *Divergence {
+	doc, err := dom.ParseString(docXML)
+	if err != nil {
+		return nil // not a valid document; nothing to compare
+	}
+	return checkQuery(doc, docXML, query, dom.Preorder(doc))
+}
+
+func checkQuery(doc *dom.Node, docXML, query string, contexts []*dom.Node) *Divergence {
+	expr, refErr := xpathlite.Compile(query)
+	_, naiveErr := naiveParse(query)
+	if (refErr == nil) != (naiveErr == nil) {
+		return &Divergence{
+			Query:   query,
+			DocXML:  docXML,
+			Context: "-",
+			Detail:  fmt.Sprintf("compile disagreement: xpathlite=%v naive=%v", refErr, naiveErr),
+		}
+	}
+	if refErr != nil {
+		return nil // both reject: agreement
+	}
+	for _, ctx := range contexts {
+		ref := expr.Select(ctx)
+		naive, err := NaiveSelect(ctx, query)
+		if err != nil {
+			return &Divergence{
+				Query:   query,
+				DocXML:  docXML,
+				Context: nodePath(ctx),
+				Detail:  fmt.Sprintf("naive evaluation failed after compile agreement: %v", err),
+			}
+		}
+		if detail := diffNodeSets(ref, naive); detail != "" {
+			return &Divergence{
+				Query:   query,
+				DocXML:  docXML,
+				Context: nodePath(ctx),
+				Detail:  detail,
+			}
+		}
+	}
+	return nil
+}
+
+func diffNodeSets(ref, naive []*dom.Node) string {
+	if len(ref) != len(naive) {
+		return fmt.Sprintf("xpathlite selected %d nodes %s, naive selected %d nodes %s",
+			len(ref), renderSet(ref), len(naive), renderSet(naive))
+	}
+	for i := range ref {
+		if ref[i] != naive[i] {
+			return fmt.Sprintf("node sets differ at position %d: xpathlite %s, naive %s",
+				i, renderSet(ref), renderSet(naive))
+		}
+	}
+	return ""
+}
+
+func renderSet(nodes []*dom.Node) string {
+	if len(nodes) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = nodePath(n)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// nodePath renders a node's position as a slash path of child indexes,
+// stable across re-parsing the same serialized document.
+func nodePath(n *dom.Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	var parts []string
+	for ; n.Parent != nil; n = n.Parent {
+		label := n.Name
+		if label == "" {
+			label = n.Type.String()
+		}
+		parts = append(parts, fmt.Sprintf("%s#%d", label, n.Index()))
+	}
+	if len(parts) == 0 {
+		return "/"
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}

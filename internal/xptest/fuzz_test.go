@@ -1,0 +1,61 @@
+package xptest
+
+import (
+	"testing"
+
+	"xydiff/internal/dom"
+)
+
+// FuzzXPathDifferential drives the structured generator from a raw
+// decision tape: every execution builds one valid document plus ten
+// valid queries and cross-checks xpathlite against the naive evaluator
+// on all of them, so no fuzz cycles are spent on unparseable inputs.
+func FuzzXPathDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte("differential-xpath-tape-seed-with-enough-bytes-for-queries"))
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i*31 + 7)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 4096 {
+			tape = tape[:4096]
+		}
+		c := GenCase(NewTape(tape))
+		if d := Check(c); d != nil {
+			sd, sq := Shrink(d.DocXML, d.Query)
+			t.Fatalf("divergence: %s\nshrunken doc:   %s\nshrunken query: %s", d, sd, sq)
+		}
+	})
+}
+
+// FuzzXPathDifferentialRaw mutates the document XML and query text
+// directly. Beyond node-set equality it checks compile agreement: any
+// string one parser accepts and the other rejects is a divergence.
+// The seed corpus carries the harness's minimized counterexamples.
+func FuzzXPathDifferentialRaw(f *testing.F) {
+	// Minimized counterexample of the document-order bug the harness
+	// found in xpathlite.Select (see TestDifferentialRegressions).
+	f.Add(`<a><b><x i="1"/></b><x i="2"/></a>`, `//*/x`)
+	f.Add(testCatalogSeed, `//Product[Price>100]/Title`)
+	f.Add(testCatalogSeed, `//Category[@name='Books'] | //Product[last()]`)
+	f.Add(`<r><a>1</a><a>2</a><a>3</a></r>`, `/r/a[2]`)
+	f.Add(`<r><p k="$5"> x </p></r>`, `//p[@k<6]`)
+	f.Fuzz(func(t *testing.T, docXML, query string) {
+		if len(docXML) > 4096 || len(query) > 256 {
+			return
+		}
+		doc, err := dom.ParseString(docXML)
+		if err != nil || doc.Size() > 300 {
+			return
+		}
+		if d := CheckRaw(docXML, query); d != nil {
+			sd, sq := Shrink(d.DocXML, d.Query)
+			t.Fatalf("divergence: %s\nshrunken doc:   %s\nshrunken query: %s", d, sd, sq)
+		}
+	})
+}
+
+const testCatalogSeed = `<Catalog><Category name="Books"><Product status="new"><Title>XML</Title><Price>$40</Price></Product></Category></Catalog>`

@@ -1,0 +1,317 @@
+package xptest
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"xydiff/internal/changesim"
+	"xydiff/internal/dom"
+)
+
+// Tape turns a fuzzer-controlled byte string into a stream of bounded
+// decisions. Every read past the end yields zero, so any byte prefix
+// is a complete, deterministic test case: the fuzzer mutates raw
+// bytes, the generator turns them into always-valid query×document
+// pairs, and no execution is wasted on inputs that merely fail to
+// parse.
+type Tape struct {
+	b []byte
+	i int
+}
+
+// NewTape wraps a byte slice as a decision tape.
+func NewTape(b []byte) *Tape { return &Tape{b: b} }
+
+// Byte returns the next tape byte, or zero once exhausted.
+func (t *Tape) Byte() byte {
+	if t.i >= len(t.b) {
+		return 0
+	}
+	c := t.b[t.i]
+	t.i++
+	return c
+}
+
+// Intn returns a decision in [0, n) driven by one tape byte; n must be
+// in [1, 256].
+func (t *Tape) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(t.Byte()) % n
+}
+
+// Seed folds four tape bytes into an int64 suitable for math/rand.
+func (t *Tape) Seed() int64 {
+	var s int64
+	for k := 0; k < 4; k++ {
+		s = s<<8 | int64(t.Byte())
+	}
+	return s
+}
+
+// QueriesPerCase is how many queries GenCase derives per document, so
+// one fuzz execution checks QueriesPerCase query×document pairs.
+const QueriesPerCase = 10
+
+// Case is one generated differential test case: a document, a batch of
+// queries over its vocabulary, and the context nodes to evaluate from
+// (always the document node, plus a few tape-chosen interior nodes).
+type Case struct {
+	Doc      *dom.Node
+	DocXML   string
+	Queries  []string
+	Contexts []*dom.Node
+}
+
+// GenCase derives a complete test case from the tape: a small
+// changesim document (generic labeled tree, catalog, site or
+// bibliography shape), QueriesPerCase grammar-driven queries built
+// from the document's own names, attributes and text values (plus
+// deliberate misses), and up to three evaluation contexts.
+func GenCase(tape *Tape) *Case {
+	rng := rand.New(rand.NewSource(tape.Seed()))
+	var doc *dom.Node
+	switch tape.Intn(4) {
+	case 0:
+		doc = changesim.Generic(rng, 8+tape.Intn(40), 1+tape.Intn(4), 2+tape.Intn(6))
+	case 1:
+		doc = changesim.Catalog(rng, 1+tape.Intn(2), 1+tape.Intn(3))
+	case 2:
+		doc = changesim.Site(rng, 1+tape.Intn(3))
+	default:
+		doc = changesim.Articles(rng, 1+tape.Intn(3))
+	}
+	c := &Case{Doc: doc, DocXML: doc.String()}
+	v := harvest(doc)
+	for q := 0; q < QueriesPerCase; q++ {
+		c.Queries = append(c.Queries, genQuery(tape, v))
+	}
+	nodes := dom.Preorder(doc)
+	c.Contexts = append(c.Contexts, doc)
+	for k := tape.Intn(3); k > 0; k-- {
+		c.Contexts = append(c.Contexts, nodes[tape.Intn(len(nodes))])
+	}
+	return c
+}
+
+// vocab is the query-relevant surface of one document: element names,
+// attribute names, and literal values to compare against. Each list
+// ends with entries that do not occur in the document, so generated
+// queries probe both hits and misses.
+type vocab struct {
+	names  []string
+	attrs  []string
+	values []string
+}
+
+func harvest(doc *dom.Node) vocab {
+	var v vocab
+	seenName := make(map[string]bool)
+	seenAttr := make(map[string]bool)
+	seenVal := make(map[string]bool)
+	addVal := func(s string) {
+		s = strings.TrimSpace(s)
+		if s == "" || len(s) > 24 || seenVal[s] || !quotable(s) {
+			return
+		}
+		seenVal[s] = true
+		v.values = append(v.values, s)
+	}
+	dom.WalkPre(doc, func(n *dom.Node) bool {
+		switch n.Type {
+		case dom.Element:
+			if !seenName[n.Name] {
+				seenName[n.Name] = true
+				v.names = append(v.names, n.Name)
+			}
+			for _, a := range n.Attrs {
+				if !seenAttr[a.Name] {
+					seenAttr[a.Name] = true
+					v.attrs = append(v.attrs, a.Name)
+				}
+				addVal(a.Value)
+			}
+		case dom.Text, dom.Comment:
+			addVal(n.Value)
+		}
+		return true
+	})
+	v.names = append(v.names, "zz9", "nope")
+	v.attrs = append(v.attrs, "absent")
+	v.values = append(v.values, "no-such-value")
+	return v
+}
+
+// quotable reports whether s can be written as a query string literal:
+// the subset's strings have no escapes, so s must avoid at least one
+// quote character (genLiteral picks the free one).
+func quotable(s string) bool {
+	return !strings.Contains(s, "'") || !strings.Contains(s, `"`)
+}
+
+func genLiteral(s string) string {
+	if strings.Contains(s, "'") {
+		return `"` + s + `"`
+	}
+	return "'" + s + "'"
+}
+
+// genQuery emits one syntactically valid query: optionally absolute
+// (rooted / or //), one to three steps joined by / or //, a possible
+// second union branch, and zero to two predicates per step drawn from
+// the full predicate grammar (positions, last(), comparisons with
+// string and numeric literals, attribute existence, contains/
+// starts-with, and/or combinations, nested value paths).
+func genQuery(tape *Tape, v vocab) string {
+	var b strings.Builder
+	genPath(tape, v, &b)
+	if tape.Intn(5) == 0 {
+		b.WriteString(" | ")
+		genPath(tape, v, &b)
+	}
+	return b.String()
+}
+
+func genPath(tape *Tape, v vocab, b *strings.Builder) {
+	switch tape.Intn(4) {
+	case 0:
+		b.WriteString("/")
+	case 1:
+		b.WriteString("//")
+	}
+	steps := 1 + tape.Intn(3)
+	for s := 0; s < steps; s++ {
+		if s > 0 {
+			if tape.Intn(4) == 0 {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+		}
+		genStep(tape, v, b)
+	}
+}
+
+func genStep(tape *Tape, v vocab, b *strings.Builder) {
+	switch tape.Intn(10) {
+	case 0:
+		b.WriteString("*")
+	case 1:
+		switch tape.Intn(3) {
+		case 0:
+			b.WriteString("text()")
+		case 1:
+			b.WriteString("node()")
+		default:
+			b.WriteString("comment()")
+		}
+	case 2:
+		// Dot steps take no predicates in this grammar.
+		if tape.Intn(2) == 0 {
+			b.WriteString(".")
+		} else {
+			b.WriteString("..")
+		}
+		return
+	default:
+		b.WriteString(v.names[tape.Intn(len(v.names))])
+	}
+	for n := predCount(tape); n > 0; n-- {
+		b.WriteString("[")
+		genPredicate(tape, v, b)
+		b.WriteString("]")
+	}
+}
+
+func predCount(tape *Tape) int {
+	switch tape.Intn(10) {
+	case 0:
+		return 2
+	case 1, 2, 3:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func genPredicate(tape *Tape, v vocab, b *strings.Builder) {
+	switch tape.Intn(6) {
+	case 0: // position
+		if tape.Intn(3) == 0 {
+			b.WriteString("last()")
+		} else {
+			b.WriteString(strconv.Itoa(1 + tape.Intn(4)))
+		}
+	case 1: // boolean combination of two comparisons
+		genCompare(tape, v, b)
+		if tape.Intn(2) == 0 {
+			b.WriteString(" and ")
+		} else {
+			b.WriteString(" or ")
+		}
+		genCompare(tape, v, b)
+	case 2: // contains / starts-with
+		if tape.Intn(2) == 0 {
+			b.WriteString("contains(")
+		} else {
+			b.WriteString("starts-with(")
+		}
+		genValue(tape, v, b)
+		b.WriteString(",")
+		arg := v.values[tape.Intn(len(v.values))]
+		if cut := 1 + tape.Intn(8); tape.Intn(2) == 0 && cut < len(arg) && quotable(arg[:cut]) {
+			arg = arg[:cut] // substring probes partial matches
+		}
+		b.WriteString(genLiteral(arg))
+		b.WriteString(")")
+	default:
+		genCompare(tape, v, b)
+	}
+}
+
+func genCompare(tape *Tape, v vocab, b *strings.Builder) {
+	genValue(tape, v, b)
+	if tape.Intn(3) == 0 {
+		return // existence test
+	}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	b.WriteString(ops[tape.Intn(len(ops))])
+	if tape.Intn(2) == 0 {
+		b.WriteString(genLiteral(v.values[tape.Intn(len(v.values))]))
+		return
+	}
+	n := strconv.Itoa(tape.Intn(100) * (1 + tape.Intn(20)))
+	if tape.Intn(4) == 0 {
+		n += "." + strconv.Itoa(tape.Intn(100))
+	}
+	b.WriteString(n)
+}
+
+func genValue(tape *Tape, v vocab, b *strings.Builder) {
+	switch tape.Intn(6) {
+	case 0:
+		b.WriteString(".")
+	case 1:
+		b.WriteString("text()")
+	case 2, 3:
+		b.WriteString("@")
+		b.WriteString(v.attrs[tape.Intn(len(v.attrs))])
+	default:
+		steps := 1 + tape.Intn(2)
+		for s := 0; s < steps; s++ {
+			if s > 0 {
+				b.WriteString("/")
+			}
+			if tape.Intn(5) == 0 {
+				b.WriteString("*")
+			} else {
+				b.WriteString(v.names[tape.Intn(len(v.names))])
+			}
+		}
+		if tape.Intn(3) == 0 {
+			b.WriteString("/text()")
+		}
+	}
+}

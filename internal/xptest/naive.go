@@ -1,0 +1,840 @@
+// Package xptest is the adversarial test harness for the query layer:
+// differential testing of internal/xpathlite in the style of XPress
+// (Finding XPath Bugs in XML Document Processors via Differential
+// Testing). It holds a second, deliberately naive evaluator for the
+// same XPath subset — written from scratch against the documented
+// semantics, sharing no lexer, parser or evaluator code with
+// xpathlite — plus a grammar-driven generator of query×document pairs
+// and a shrinker that reduces any disagreement to a minimal
+// counterexample.
+//
+// The two implementations answer the same question by different
+// means: xpathlite compiles token streams into a step machine tuned
+// for the alerter's hot path, while this package re-reads the source
+// with a character cursor and interprets the tree recursively with
+// explicit node sets, sorting results by document position computed
+// from ancestor chains. Any input on which they disagree is a bug in
+// one of them; the harness found one real xpathlite bug on day one
+// (document-order grouping, pinned in xpathlite's tests).
+package xptest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"xydiff/internal/dom"
+)
+
+// NaiveSelect evaluates the path expression with n as the context node
+// and returns the matching nodes in document order, without
+// duplicates. It is the reference implementation the differential
+// harness holds xpathlite against: compiled fresh on every call,
+// interpreted recursively over explicit node sets, ordered by an
+// ancestor-chain comparison — no caching, no cleverness.
+func NaiveSelect(n *dom.Node, src string) ([]*dom.Node, error) {
+	e, err := naiveParse(src)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, nil
+	}
+	set := make(map[*dom.Node]bool)
+	for _, alt := range e.alts {
+		start := n
+		if alt.absolute {
+			for start.Parent != nil {
+				start = start.Parent
+			}
+		}
+		ctx := []*dom.Node{start}
+		for _, st := range alt.steps {
+			ctx = naiveStep(ctx, st)
+		}
+		for _, m := range ctx {
+			set[m] = true
+		}
+	}
+	out := make([]*dom.Node, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return naiveDocLess(out[i], out[j]) })
+	return out, nil
+}
+
+// NaiveMatches reports whether node n itself is selected by the
+// expression, mirroring xpathlite's Expr.Matches contract.
+func NaiveMatches(n *dom.Node, src string) (bool, error) {
+	got, err := NaiveSelect(n, src)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range got {
+		if m == n {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// naiveDocLess orders two nodes of one tree by document position,
+// ancestors before descendants.
+func naiveDocLess(a, b *dom.Node) bool {
+	if a == b {
+		return false
+	}
+	var ca, cb []*dom.Node
+	for x := a; x != nil; x = x.Parent {
+		ca = append(ca, x)
+	}
+	for x := b; x != nil; x = x.Parent {
+		cb = append(cb, x)
+	}
+	i, j := len(ca)-1, len(cb)-1
+	for i >= 0 && j >= 0 && ca[i] == cb[j] {
+		i--
+		j--
+	}
+	if i < 0 {
+		return true
+	}
+	if j < 0 {
+		return false
+	}
+	return ca[i].Index() < cb[j].Index()
+}
+
+// --- evaluation ---
+
+type nAxis uint8
+
+const (
+	nAxisChild nAxis = iota
+	nAxisDescOrSelf
+	nAxisSelf
+	nAxisParent
+)
+
+type nTest uint8
+
+const (
+	nTestName nTest = iota
+	nTestAnyElement
+	nTestText
+	nTestComment
+	nTestAnyNode
+)
+
+type nStep struct {
+	axis  nAxis
+	test  nTest
+	name  string
+	preds []nPred
+}
+
+type nPath struct {
+	absolute bool
+	steps    []nStep
+}
+
+type nExpr struct {
+	alts []nPath
+}
+
+type nPred interface{ isNPred() }
+
+type nPosition struct {
+	n    int
+	last bool
+}
+
+type nCompare struct {
+	lhs      nValue
+	op       string // "=", "!=", "<", "<=", ">", ">="; "" = existence
+	rhs      string
+	rhsNum   float64
+	rhsIsNum bool
+}
+
+type nBool struct {
+	op   string // "and" or "or"
+	l, r nPred
+}
+
+type nFunc struct {
+	fn  string // "contains" or "starts-with"
+	lhs nValue
+	arg string
+}
+
+func (nPosition) isNPred() {}
+func (nCompare) isNPred()  {}
+func (nBool) isNPred()     {}
+func (nFunc) isNPred()     {}
+
+// nValue is a predicate's value expression: attribute, relative child
+// path (optionally ending in text()), bare text(), or "." when all
+// fields are zero.
+type nValue struct {
+	attr string
+	path []nStep
+	text bool
+}
+
+// naiveStep applies one step to every context node: candidates by
+// axis, node test, then predicates in sequence (positional predicates
+// index the per-context candidate list, as XPath's abbreviated form
+// demands). The union over contexts is deduplicated; order is
+// irrelevant here because the caller sorts the final set.
+func naiveStep(ctx []*dom.Node, s nStep) []*dom.Node {
+	var out []*dom.Node
+	seen := make(map[*dom.Node]bool)
+	for _, c := range ctx {
+		var cands []*dom.Node
+		switch s.axis {
+		case nAxisSelf:
+			cands = []*dom.Node{c}
+		case nAxisParent:
+			if c.Parent != nil {
+				cands = []*dom.Node{c.Parent}
+			}
+		case nAxisChild:
+			cands = c.Children
+		case nAxisDescOrSelf:
+			cands = dom.Preorder(c)
+		}
+		var matched []*dom.Node
+		for _, cand := range cands {
+			if naiveTest(cand, s) {
+				matched = append(matched, cand)
+			}
+		}
+		for _, p := range s.preds {
+			matched = naiveFilter(matched, p)
+		}
+		for _, m := range matched {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func naiveTest(n *dom.Node, s nStep) bool {
+	switch s.test {
+	case nTestName:
+		return n.Type == dom.Element && n.Name == s.name
+	case nTestAnyElement:
+		return n.Type == dom.Element
+	case nTestText:
+		return n.Type == dom.Text
+	case nTestComment:
+		return n.Type == dom.Comment
+	case nTestAnyNode:
+		return true
+	}
+	return false
+}
+
+func naiveFilter(nodes []*dom.Node, p nPred) []*dom.Node {
+	if pos, ok := p.(nPosition); ok {
+		if pos.last {
+			if len(nodes) == 0 {
+				return nil
+			}
+			return nodes[len(nodes)-1:]
+		}
+		if pos.n > len(nodes) {
+			return nil
+		}
+		return nodes[pos.n-1 : pos.n]
+	}
+	var out []*dom.Node
+	for _, n := range nodes {
+		if naiveBool(n, p) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func naiveBool(n *dom.Node, p nPred) bool {
+	switch pr := p.(type) {
+	case nBool:
+		if pr.op == "and" {
+			return naiveBool(n, pr.l) && naiveBool(n, pr.r)
+		}
+		return naiveBool(n, pr.l) || naiveBool(n, pr.r)
+	case nCompare:
+		values, exists := naiveValue(n, pr.lhs)
+		if pr.op == "" {
+			return exists
+		}
+		for _, v := range values {
+			if naiveCompare(v, pr) {
+				return true // node-set comparisons are existential
+			}
+		}
+		return false
+	case nFunc:
+		values, _ := naiveValue(n, pr.lhs)
+		for _, v := range values {
+			switch pr.fn {
+			case "contains":
+				if strings.Contains(v, pr.arg) {
+					return true
+				}
+			case "starts-with":
+				if strings.HasPrefix(v, pr.arg) {
+					return true
+				}
+			}
+		}
+		return false
+	case nPosition:
+		// Position in a boolean context would need the context
+		// position; the subset defines it as non-matching.
+		return false
+	}
+	return false
+}
+
+// naiveValue returns the candidate string values of a value expression
+// and whether it selected anything. The text() handling mirrors the
+// subset's documented quirks: with a non-empty path, values are the
+// direct text children of each selected node; with an empty path, the
+// direct text children of the context node itself.
+func naiveValue(n *dom.Node, ve nValue) ([]string, bool) {
+	if ve.attr != "" {
+		if v, ok := n.Attribute(ve.attr); ok {
+			return []string{v}, true
+		}
+		return nil, false
+	}
+	ctx := []*dom.Node{n}
+	for _, st := range ve.path {
+		ctx = naiveStep(ctx, st)
+	}
+	if ve.text {
+		var texts []string
+		for _, c := range ctx {
+			for _, ch := range c.Children {
+				if ch.Type == dom.Text {
+					texts = append(texts, ch.Value)
+				}
+			}
+			if c.Type == dom.Text {
+				texts = append(texts, c.Value)
+			}
+		}
+		if len(ve.path) == 0 {
+			texts = nil
+			for _, ch := range n.Children {
+				if ch.Type == dom.Text {
+					texts = append(texts, ch.Value)
+				}
+			}
+		}
+		return texts, len(texts) > 0
+	}
+	if len(ctx) == 0 {
+		return nil, false
+	}
+	var out []string
+	for _, c := range ctx {
+		out = append(out, c.TextContent())
+	}
+	return out, true
+}
+
+func naiveCompare(v string, pr nCompare) bool {
+	if pr.rhsIsNum {
+		lv, err := strconv.ParseFloat(strings.TrimSpace(naiveStripCurrency(v)), 64)
+		if err != nil {
+			return false
+		}
+		switch pr.op {
+		case "=":
+			return lv == pr.rhsNum
+		case "!=":
+			return lv != pr.rhsNum
+		case "<":
+			return lv < pr.rhsNum
+		case "<=":
+			return lv <= pr.rhsNum
+		case ">":
+			return lv > pr.rhsNum
+		case ">=":
+			return lv >= pr.rhsNum
+		}
+		return false
+	}
+	switch pr.op {
+	case "=":
+		return v == pr.rhs
+	case "!=":
+		return v != pr.rhs
+	case "<":
+		return v < pr.rhs
+	case "<=":
+		return v <= pr.rhs
+	case ">":
+		return v > pr.rhs
+	case ">=":
+		return v >= pr.rhs
+	}
+	return false
+}
+
+// naiveStripCurrency mirrors the subset's numeric-coercion rule: trim
+// space, then strip at most one each of $, € and £ in that order.
+func naiveStripCurrency(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	s = strings.TrimPrefix(s, "€")
+	s = strings.TrimPrefix(s, "£")
+	return s
+}
+
+// --- parsing ---
+//
+// The parser reads the source with a two-token sliding window over a
+// character cursor; there is no token slice and no code shared with
+// xpathlite's lexer. The token *grammar* is necessarily the same —
+// both implementations accept the same language — including its
+// byte-wise name classification (each source byte is classified on
+// its own, so only Latin-1 letters extend names).
+
+type nToken struct {
+	kind string // "/", "//", "name", "num", "str", "*", "@", "[", "]", "(", ")", "=", "!=", "<", "<=", ">", ">=", ".", "..", "and", "or", "|", ",", "eof"
+	text string
+}
+
+type nParser struct {
+	src      string
+	pos      int
+	cur, nxt nToken
+	err      error
+}
+
+func naiveParse(src string) (*nExpr, error) {
+	p := &nParser{src: src}
+	p.cur = p.scan()
+	p.nxt = p.scan()
+	if p.err != nil {
+		return nil, p.err
+	}
+	e := &nExpr{}
+	for {
+		alt, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		e.alts = append(e.alts, alt)
+		if p.cur.kind != "|" {
+			break
+		}
+		p.advance()
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.cur.kind != "eof" {
+		return nil, fmt.Errorf("xptest: unexpected %q after expression in %q", p.cur.text, src)
+	}
+	return e, nil
+}
+
+func (p *nParser) advance() {
+	p.cur = p.nxt
+	p.nxt = p.scan()
+}
+
+func (p *nParser) scan() nToken {
+	if p.err != nil {
+		return nToken{kind: "eof"}
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos >= len(p.src) {
+		return nToken{kind: "eof"}
+	}
+	start := p.pos
+	c := p.src[p.pos]
+	two := func(kind string) nToken {
+		p.pos += 2
+		return nToken{kind: kind, text: p.src[start:p.pos]}
+	}
+	one := func(kind string) nToken {
+		p.pos++
+		return nToken{kind: kind, text: p.src[start:p.pos]}
+	}
+	switch {
+	case c == '/':
+		if p.byteAt(p.pos+1) == '/' {
+			return two("//")
+		}
+		return one("/")
+	case c == '*' || c == '|' || c == ',' || c == '@' || c == '[' || c == ']' ||
+		c == '(' || c == ')' || c == '=':
+		return one(string(c))
+	case c == '!':
+		if p.byteAt(p.pos+1) != '=' {
+			p.err = fmt.Errorf("xptest: stray '!' at %d in %q", start, p.src)
+			return nToken{kind: "eof"}
+		}
+		return two("!=")
+	case c == '<':
+		if p.byteAt(p.pos+1) == '=' {
+			return two("<=")
+		}
+		return one("<")
+	case c == '>':
+		if p.byteAt(p.pos+1) == '=' {
+			return two(">=")
+		}
+		return one(">")
+	case c == '\'' || c == '"':
+		end := strings.IndexByte(p.src[p.pos+1:], c)
+		if end < 0 {
+			p.err = fmt.Errorf("xptest: unterminated string at %d in %q", start, p.src)
+			return nToken{kind: "eof"}
+		}
+		text := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return nToken{kind: "str", text: text}
+	case c == '.':
+		if p.byteAt(p.pos+1) == '.' {
+			return two("..")
+		}
+		if nIsDigit(p.byteAt(p.pos + 1)) {
+			return p.scanNumber(start)
+		}
+		return one(".")
+	case nIsDigit(c):
+		return p.scanNumber(start)
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for p.pos < len(p.src) && nIsNamePart(p.src[p.pos]) {
+			p.pos++
+		}
+		text := p.src[start:p.pos]
+		if text == "and" || text == "or" {
+			return nToken{kind: text, text: text}
+		}
+		return nToken{kind: "name", text: text}
+	}
+	p.err = fmt.Errorf("xptest: unexpected character %q at %d in %q", c, start, p.src)
+	return nToken{kind: "eof"}
+}
+
+func (p *nParser) scanNumber(start int) nToken {
+	for p.pos < len(p.src) && (nIsDigit(p.src[p.pos]) || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	return nToken{kind: "num", text: p.src[start:p.pos]}
+}
+
+func (p *nParser) byteAt(i int) byte {
+	if i >= len(p.src) {
+		return 0
+	}
+	return p.src[i]
+}
+
+func (p *nParser) expect(kind string) error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.cur.kind != kind {
+		return fmt.Errorf("xptest: expected %q, found %q in %q", kind, p.cur.text, p.src)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *nParser) parsePath() (nPath, error) {
+	var alt nPath
+	switch p.cur.kind {
+	case "/":
+		p.advance()
+		alt.absolute = true
+		if p.cur.kind == "eof" || p.cur.kind == "|" {
+			return alt, p.err // bare "/" selects the document
+		}
+	case "//":
+		p.advance()
+		alt.absolute = true
+		alt.steps = append(alt.steps, nStep{axis: nAxisDescOrSelf, test: nTestAnyNode})
+	}
+	for {
+		s, err := p.parseStep()
+		if err != nil {
+			return alt, err
+		}
+		alt.steps = append(alt.steps, s)
+		switch p.cur.kind {
+		case "/":
+			p.advance()
+		case "//":
+			p.advance()
+			alt.steps = append(alt.steps, nStep{axis: nAxisDescOrSelf, test: nTestAnyNode})
+		default:
+			return alt, p.err
+		}
+	}
+}
+
+func (p *nParser) parseStep() (nStep, error) {
+	var s nStep
+	s.axis = nAxisChild
+	switch p.cur.kind {
+	case ".":
+		p.advance()
+		return nStep{axis: nAxisSelf, test: nTestAnyNode}, p.err
+	case "..":
+		p.advance()
+		return nStep{axis: nAxisParent, test: nTestAnyNode}, p.err
+	case "*":
+		p.advance()
+		s.test = nTestAnyElement
+	case "name":
+		name := p.cur.text
+		p.advance()
+		if p.cur.kind == "(" {
+			p.advance()
+			if err := p.expect(")"); err != nil {
+				return s, err
+			}
+			switch name {
+			case "text":
+				s.test = nTestText
+			case "comment":
+				s.test = nTestComment
+			case "node":
+				s.test = nTestAnyNode
+			default:
+				return s, fmt.Errorf("xptest: unknown node test %s() in %q", name, p.src)
+			}
+		} else {
+			s.test = nTestName
+			s.name = name
+		}
+	default:
+		return s, fmt.Errorf("xptest: expected a step, found %q in %q", p.cur.text, p.src)
+	}
+	for p.cur.kind == "[" {
+		p.advance()
+		pr, err := p.parsePredicate()
+		if err != nil {
+			return s, err
+		}
+		if err := p.expect("]"); err != nil {
+			return s, err
+		}
+		s.preds = append(s.preds, pr)
+	}
+	return s, p.err
+}
+
+func (p *nParser) parsePredicate() (nPred, error) {
+	if p.cur.kind == "num" {
+		n, err := nParsePosition(p.cur.text)
+		if err != nil {
+			return nil, fmt.Errorf("xptest: %w in %q", err, p.src)
+		}
+		p.advance()
+		return nPosition{n: n}, p.err
+	}
+	if p.cur.kind == "name" && p.cur.text == "last" && p.nxt.kind == "(" {
+		p.advance()
+		p.advance()
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return nPosition{last: true}, p.err
+	}
+	return p.parseOr()
+}
+
+func (p *nParser) parseOr() (nPred, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == "or" {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = nBool{op: "or", l: l, r: r}
+	}
+	return l, p.err
+}
+
+func (p *nParser) parseAnd() (nPred, error) {
+	l, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == "and" {
+		p.advance()
+		r, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		l = nBool{op: "and", l: l, r: r}
+	}
+	return l, p.err
+}
+
+func (p *nParser) parseCompare() (nPred, error) {
+	if p.cur.kind == "name" && (p.cur.text == "contains" || p.cur.text == "starts-with") &&
+		p.nxt.kind == "(" {
+		fn := p.cur.text
+		p.advance()
+		p.advance()
+		lhs, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != "str" {
+			return nil, fmt.Errorf("xptest: %s() needs a string literal, found %q in %q", fn, p.cur.text, p.src)
+		}
+		arg := p.cur.text
+		p.advance()
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return nFunc{fn: fn, lhs: lhs, arg: arg}, p.err
+	}
+	lhs, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	op := p.cur.kind
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		p.advance()
+	default:
+		return nCompare{lhs: lhs}, p.err // existence test
+	}
+	switch p.cur.kind {
+	case "str":
+		c := nCompare{lhs: lhs, op: op, rhs: p.cur.text}
+		p.advance()
+		return c, p.err
+	case "num":
+		num, err := nParseNumber(p.cur.text)
+		if err != nil {
+			return nil, fmt.Errorf("xptest: %w in %q", err, p.src)
+		}
+		c := nCompare{lhs: lhs, op: op, rhs: p.cur.text, rhsIsNum: true, rhsNum: num}
+		p.advance()
+		return c, p.err
+	}
+	return nil, fmt.Errorf("xptest: expected a literal after comparison, found %q in %q", p.cur.text, p.src)
+}
+
+func (p *nParser) parseValue() (nValue, error) {
+	if p.cur.kind == "@" {
+		p.advance()
+		if p.cur.kind != "name" {
+			return nValue{}, fmt.Errorf("xptest: expected attribute name, found %q in %q", p.cur.text, p.src)
+		}
+		ve := nValue{attr: p.cur.text}
+		p.advance()
+		return ve, p.err
+	}
+	if p.cur.kind == "." {
+		p.advance()
+		return nValue{}, p.err
+	}
+	var ve nValue
+	for {
+		switch {
+		case p.cur.kind == "name" && p.nxt.kind == "(" && p.cur.text == "text":
+			p.advance()
+			p.advance()
+			if err := p.expect(")"); err != nil {
+				return ve, err
+			}
+			ve.text = true
+			return ve, p.err
+		case p.cur.kind == "name":
+			ve.path = append(ve.path, nStep{axis: nAxisChild, test: nTestName, name: p.cur.text})
+			p.advance()
+		case p.cur.kind == "*":
+			ve.path = append(ve.path, nStep{axis: nAxisChild, test: nTestAnyElement})
+			p.advance()
+		default:
+			return ve, fmt.Errorf("xptest: expected a value expression, found %q in %q", p.cur.text, p.src)
+		}
+		if p.cur.kind != "/" {
+			return ve, p.err
+		}
+		p.advance()
+	}
+}
+
+func nParsePosition(s string) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if !nIsDigit(s[i]) {
+			return 0, fmt.Errorf("position %q must be an integer", s)
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("position %q must be >= 1", s)
+	}
+	return n, nil
+}
+
+func nParseNumber(s string) (float64, error) {
+	var v float64
+	var frac float64 = 1
+	seenDot := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			if seenDot {
+				return 0, fmt.Errorf("bad number %q", s)
+			}
+			seenDot = true
+			continue
+		}
+		if !nIsDigit(s[i]) {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		if seenDot {
+			frac /= 10
+			v += float64(s[i]-'0') * frac
+		} else {
+			v = v*10 + float64(s[i]-'0')
+		}
+	}
+	return v, nil
+}
+
+func nIsDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func nIsNamePart(c byte) bool {
+	r := rune(c)
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,183 @@
+package xptest
+
+import (
+	"strings"
+
+	"xydiff/internal/dom"
+)
+
+// Shrink reduces a diverging document/query pair to a local minimum
+// while the divergence persists: it repeatedly detaches subtrees and
+// strips attributes from the document, then deletes union branches,
+// predicates and steps from the query, re-checking after each cut.
+// The result is what a failing test reports, so a counterexample
+// arrives already small enough to debug by eye.
+func Shrink(docXML, query string) (string, string) {
+	if CheckRaw(docXML, query) == nil {
+		return docXML, query // not diverging; nothing to preserve
+	}
+	for {
+		nextDoc, changed := shrinkDoc(docXML, query)
+		docXML = nextDoc
+		nextQuery, qChanged := shrinkQuery(docXML, query)
+		query = nextQuery
+		if !changed && !qChanged {
+			return docXML, query
+		}
+	}
+}
+
+// shrinkDoc tries one pass of document reductions: detach each
+// non-root subtree, then drop each attribute. Every accepted cut
+// restarts from the reduced document.
+func shrinkDoc(docXML, query string) (string, bool) {
+	changed := false
+	for {
+		doc, err := dom.ParseString(docXML)
+		if err != nil {
+			return docXML, changed
+		}
+		reduced := ""
+		nodes := dom.Preorder(doc)
+		for _, n := range nodes[1:] {
+			parent, idx := n.Parent, n.Index()
+			n.Detach()
+			candidate := doc.String()
+			if CheckRaw(candidate, query) != nil {
+				reduced = candidate
+				break
+			}
+			if err := parent.InsertAt(idx, n); err != nil {
+				return docXML, changed // tree corrupted; stop shrinking
+			}
+		}
+		if reduced == "" {
+			for _, n := range nodes {
+				for i := 0; i < len(n.Attrs); i++ {
+					saved := n.Attrs[i]
+					n.Attrs = append(n.Attrs[:i], n.Attrs[i+1:]...)
+					candidate := doc.String()
+					if CheckRaw(candidate, query) != nil {
+						reduced = candidate
+						break
+					}
+					n.Attrs = append(n.Attrs[:i], append([]dom.Attr{saved}, n.Attrs[i:]...)...)
+				}
+				if reduced != "" {
+					break
+				}
+			}
+		}
+		if reduced == "" {
+			return docXML, changed
+		}
+		docXML = reduced
+		changed = true
+	}
+}
+
+// shrinkQuery deletes spans of the query text — union branches,
+// bracketed predicates, then trailing/leading steps — keeping any cut
+// that still diverges on the (already shrunken) document.
+func shrinkQuery(docXML, query string) (string, bool) {
+	changed := false
+	for {
+		reduced := ""
+		for _, candidate := range queryCuts(query) {
+			if candidate == query {
+				continue
+			}
+			if CheckRaw(docXML, candidate) != nil {
+				reduced = candidate
+				break
+			}
+		}
+		if reduced == "" {
+			return query, changed
+		}
+		query = reduced
+		changed = true
+	}
+}
+
+// queryCuts proposes smaller variants of a query: individual union
+// branches, the query with one [predicate] span removed, and the query
+// with one /step segment removed.
+func queryCuts(query string) []string {
+	var cuts []string
+	branches := splitTopLevel(query, '|')
+	if len(branches) > 1 {
+		for _, b := range branches {
+			cuts = append(cuts, strings.TrimSpace(b))
+		}
+	}
+	// Remove each balanced [...] span (quote-aware).
+	depth, start := 0, -1
+	inQuote := byte(0)
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inQuote = c
+		case '[':
+			if depth == 0 {
+				start = i
+			}
+			depth++
+		case ']':
+			depth--
+			if depth == 0 && start >= 0 {
+				cuts = append(cuts, query[:start]+query[i+1:])
+			}
+		}
+	}
+	// Remove one step at a time: split on top-level slashes.
+	segs := splitTopLevel(query, '/')
+	if len(segs) > 2 {
+		for i := range segs {
+			if segs[i] == "" {
+				continue // keep absolute/descendant markers intact
+			}
+			parts := append(append([]string{}, segs[:i]...), segs[i+1:]...)
+			cuts = append(cuts, strings.Join(parts, "/"))
+		}
+	}
+	return cuts
+}
+
+// splitTopLevel splits on sep outside quotes and brackets.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depth := 0
+	inQuote := byte(0)
+	last := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inQuote = c
+		case '[':
+			depth++
+		case ']':
+			depth--
+		default:
+			if c == sep && depth == 0 {
+				parts = append(parts, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	return append(parts, s[last:])
+}

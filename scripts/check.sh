@@ -18,11 +18,15 @@
 #   8. match smoke  SFTM match quality on the id-less changesim HTML
 #                  corpus: absolute precision/recall floors plus
 #                  beating BULD-without-IDs on both axes
-#   9. bench smoke quick bench5 + bench6 + bench7 runs compared
-#                  against the committed BENCH_5.json / BENCH_6.json /
-#                  BENCH_7.json with coarse tolerances (3x time, 1.5x
-#                  allocations, +0.15 quality ratio, identical deltas,
-#                  3x fsyncs-per-Put, -0.03 match precision/recall)
+#   9. xpath smoke  differential XPath harness: 6000 generated
+#                  query×document pairs, xpathlite vs the naive
+#                  evaluator, zero divergences tolerated
+#  10. bench smoke quick bench5–bench8 runs compared against the
+#                  committed BENCH_5.json … BENCH_8.json with coarse
+#                  tolerances (3x time, 1.5x allocations, +0.15
+#                  quality/optimality ratio, identical deltas, 3x
+#                  fsyncs-per-Put, -0.03 match precision/recall, and
+#                  no delta ever under the proven optimum)
 #
 # Exits nonzero on the first failing step.
 set -eu
@@ -52,6 +56,9 @@ $GO test ./internal/delta -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
 $GO test ./internal/delta -run '^$' -fuzz '^FuzzApply$' -fuzztime "$FUZZTIME"
 $GO test ./internal/diff -run '^$' -fuzz '^FuzzDiffApply$' -fuzztime "$FUZZTIME"
 $GO test ./internal/diff -run '^$' -fuzz '^FuzzSFTMApply$' -fuzztime "$FUZZTIME"
+$GO test ./internal/xptest -run '^$' -fuzz '^FuzzXPathDifferential$' -fuzztime "$FUZZTIME"
+$GO test ./internal/xptest -run '^$' -fuzz '^FuzzXPathDifferentialRaw$' -fuzztime "$FUZZTIME"
+$GO test ./internal/optdelta -run '^$' -fuzz '^FuzzOptDeltaSound$' -fuzztime "$FUZZTIME"
 
 echo "==> load smoke"
 $GO run ./cmd/xyload -assert-fsync-ratio 0.1
@@ -62,6 +69,9 @@ $GO test ./cmd/xystore -run '^TestScrubCommand' -count=1
 
 echo "==> match smoke"
 $GO test ./internal/changesim -run '^TestSFTMQualityOnHTMLCorpus$' -count=1 -v
+
+echo "==> xpath smoke"
+$GO test ./internal/xptest -run '^TestXPathDifferentialSeeded$' -count=1 -v
 
 echo "==> bench smoke"
 ./scripts/benchdiff.sh -quick
